@@ -1,0 +1,144 @@
+// Command balance computes a load-balanced scatter distribution for a
+// grid described by a JSON platform file.
+//
+// Usage:
+//
+//	balance -n 817101                        # the paper's Table 1 grid
+//	balance -platform grid.json -n 1000000   # a custom grid
+//	balance -n 817101 -order asc             # adversarial ordering
+//	balance -n 817101 -solver dp             # force the exact DP
+//	balance -n 817101 -gantt                 # render the timeline
+//
+// The platform JSON format is:
+//
+//	{
+//	  "name": "my-grid",
+//	  "root": "host0",
+//	  "machines": [
+//	    {"name": "host0", "cpus": 1, "beta": 0.0093, "alpha": 0},
+//	    {"name": "host1", "cpus": 2, "beta": 0.0040, "alpha": 8.15e-5}
+//	  ]
+//	}
+//
+// where beta is the computation cost (seconds per item) and alpha the
+// communication cost from the root (seconds per item).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/schedule"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		platformFile = flag.String("platform", "", "platform JSON file (default: the paper's Table 1 grid)")
+		n            = flag.Int("n", 817101, "number of data items to distribute")
+		order        = flag.String("order", "desc", "processor ordering: desc, asc, or listed")
+		solver       = flag.String("solver", "heuristic", "solver: heuristic, linear, dp, exact, or uniform")
+		gantt        = flag.Bool("gantt", false, "render an ASCII Gantt chart of the schedule")
+		tsv          = flag.Bool("tsv", false, "emit the timeline as TSV instead of a table")
+		rounds       = flag.Int("rounds", 1, "multi-installment rounds (affine costs; 1 = plain scatter)")
+	)
+	flag.Parse()
+
+	p := platform.Table1()
+	if *platformFile != "" {
+		data, err := os.ReadFile(*platformFile)
+		if err != nil {
+			fatal(err)
+		}
+		p, err = platform.Parse(data)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	var ordering platform.Ordering
+	switch *order {
+	case "desc":
+		ordering = platform.OrderDescendingBandwidth
+	case "asc":
+		ordering = platform.OrderAscendingBandwidth
+	case "listed":
+		ordering = platform.OrderAsListed
+	default:
+		fatal(fmt.Errorf("unknown ordering %q", *order))
+	}
+	procs, err := p.ProcessorsOrdered(ordering)
+	if err != nil {
+		fatal(err)
+	}
+
+	var solve core.Solver
+	switch *solver {
+	case "heuristic":
+		solve = core.Heuristic
+	case "linear":
+		solve = core.SolveLinear
+	case "dp":
+		solve = core.Algorithm2
+	case "exact":
+		solve = core.Algorithm1
+	case "uniform":
+		solve = func(procs []core.Processor, n int) (core.Result, error) {
+			dist := core.Uniform(len(procs), n)
+			return core.Result{Distribution: dist, Makespan: core.Makespan(procs, dist)}, nil
+		}
+	default:
+		fatal(fmt.Errorf("unknown solver %q", *solver))
+	}
+
+	if *rounds > 1 {
+		plan, err := core.MultiRound(procs, *n, *rounds)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("platform: %s (%d processors), n = %d, order = %s, %d rounds\n\n",
+			p.Name, len(procs), *n, *order, *rounds)
+		for r, shares := range plan.Shares {
+			fmt.Printf("round %d counts: %v\n", r+1, shares)
+		}
+		fmt.Printf("totals:         %v\n", plan.Totals)
+		fmt.Printf("\nmakespan %.2f s (single round: ", plan.Makespan)
+		if one, err := core.MultiRound(procs, *n, 1); err == nil {
+			fmt.Printf("%.2f s)\n", one.Makespan)
+		} else {
+			fmt.Printf("unavailable)\n")
+		}
+		return
+	}
+
+	res, err := solve(procs, *n)
+	if err != nil {
+		fatal(err)
+	}
+	tl, err := schedule.Build(procs, res.Distribution)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("platform: %s (%d processors), n = %d, order = %s, solver = %s\n\n",
+		p.Name, len(procs), *n, *order, *solver)
+	switch {
+	case *tsv:
+		fmt.Print(trace.TSV(tl))
+	case *gantt:
+		fmt.Print(trace.Gantt(tl, 72))
+	default:
+		fmt.Print(trace.SummaryTable(tl))
+	}
+	fmt.Printf("\nmakespan %.2f s, imbalance %.2f%%, stair area %.1f s, utilization %.1f%%\n",
+		tl.Makespan, 100*tl.Imbalance(), tl.StairArea(), 100*tl.Utilization())
+	fmt.Printf("scatterv counts: %v\n", res.Distribution)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "balance: %v\n", err)
+	os.Exit(1)
+}

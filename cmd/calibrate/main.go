@@ -1,0 +1,99 @@
+// Command calibrate measures this machine's per-ray computation cost
+// the way the paper's Table 1 was produced ("the values come from a
+// series of benchmarks we performed on our application"): it runs the
+// real seismic ray-tracing kernel at several batch sizes, fits linear
+// and affine cost models, and emits a machine entry ready to paste
+// into a platform JSON for cmd/balance.
+//
+// Usage:
+//
+//	calibrate                       # default batches, resolution 200 km
+//	calibrate -name mybox -cpus 8   # label the emitted machine entry
+//	calibrate -resolution 50        # heavier per-ray work
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/platform"
+	"repro/internal/seismic"
+)
+
+func main() {
+	var (
+		name       = flag.String("name", hostnameOr("thishost"), "machine name for the emitted entry")
+		cpus       = flag.Int("cpus", 1, "CPU count for the emitted entry")
+		resolution = flag.Float64("resolution", 200, "earth-model refinement in km (smaller = more work per ray)")
+		repeats    = flag.Int("repeats", 3, "measurements per batch size")
+	)
+	flag.Parse()
+
+	tracer, err := seismic.NewTracer(seismic.IASP91Lite(), *resolution)
+	if err != nil {
+		fatal(err)
+	}
+	batches := []int{250, 500, 1000, 2000, 4000}
+	events := seismic.SyntheticCatalog(seismic.CatalogConfig{Seed: 7, Events: batches[len(batches)-1]})
+
+	// Warm up caches and the scheduler.
+	tracer.TraceAll(events[:batches[0]])
+
+	fmt.Fprintf(os.Stderr, "calibrating %s (resolution %.0f km, %d repeats per batch)\n",
+		*name, *resolution, *repeats)
+	var samples []cost.Sample
+	for _, b := range batches {
+		for r := 0; r < *repeats; r++ {
+			start := time.Now()
+			tracer.TraceAll(events[:b])
+			d := time.Since(start).Seconds()
+			samples = append(samples, cost.Sample{X: b, Seconds: d})
+			fmt.Fprintf(os.Stderr, "  %5d rays: %8.4f s (%.2f us/ray)\n", b, d, 1e6*d/float64(b))
+		}
+	}
+
+	linear, err := cost.FitLinear(samples)
+	if err != nil {
+		fatal(err)
+	}
+	affine, err := cost.FitAffine(samples)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "\nlinear fit:  beta = %.6g s/ray (rms residual %.3g s)\n",
+		linear.PerItem, cost.FitResidual(linear, samples))
+	fmt.Fprintf(os.Stderr, "affine fit:  %.6g + %.6g*x s (rms residual %.3g s)\n",
+		affine.Fixed, affine.PerItem, cost.FitResidual(affine, samples))
+
+	// Rating relative to the paper's reference machine (dinadan,
+	// PIII/933 at 0.009288 s/ray).
+	ref := 0.009288
+	machine := platform.Machine{
+		Name:   *name,
+		CPUs:   *cpus,
+		Beta:   linear.PerItem,
+		Rating: ref / linear.PerItem,
+		Alpha:  0, // measure your link to the root separately
+	}
+	out, err := json.MarshalIndent(machine, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(string(out))
+}
+
+func hostnameOr(fallback string) string {
+	if h, err := os.Hostname(); err == nil && h != "" {
+		return h
+	}
+	return fallback
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "calibrate: %v\n", err)
+	os.Exit(1)
+}

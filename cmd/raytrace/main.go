@@ -1,0 +1,155 @@
+// Command raytrace runs the paper's seismic-tomography application on
+// the virtual-time MPI runtime: the root reads the event catalog,
+// scatters it (uniformly or with a balanced distribution) and every
+// rank ray-traces its share. Virtual per-rank clocks follow the
+// platform cost model, so the output reproduces the shape of the
+// paper's Figures 2 and 3.
+//
+// Usage:
+//
+//	raytrace -rays 817101                 # balanced run on the Table 1 grid
+//	raytrace -rays 817101 -uniform        # the original program's behaviour
+//	raytrace -rays 100000 -real           # really trace the rays too
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/platform"
+	"repro/internal/seismic"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		rays    = flag.Int("rays", platform.Table1Rays, "number of rays (catalog size)")
+		uniform = flag.Bool("uniform", false, "use the original uniform MPI_Scatter instead of the balanced MPI_Scatterv")
+		real    = flag.Bool("real", false, "really trace the rays (otherwise virtual-time only)")
+		order   = flag.String("order", "desc", "processor ordering: desc or asc")
+		catalog = flag.String("catalog", "", "read the event catalog from this CSV instead of synthesizing one")
+		dump    = flag.String("dump", "", "write the synthesized catalog to this CSV and exit")
+	)
+	flag.Parse()
+
+	if *dump != "" {
+		events := seismic.SyntheticCatalog(seismic.CatalogConfig{Seed: 1999, Events: *rays})
+		f, err := os.Create(*dump)
+		if err != nil {
+			fatal(err)
+		}
+		if err := seismic.WriteCatalog(f, events); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d events to %s\n", len(events), *dump)
+		return
+	}
+
+	var loaded []seismic.Event
+	if *catalog != "" {
+		f, err := os.Open(*catalog)
+		if err != nil {
+			fatal(err)
+		}
+		loaded, err = seismic.ReadCatalog(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		*rays = len(loaded)
+	}
+
+	ordering := platform.OrderDescendingBandwidth
+	if *order == "asc" {
+		ordering = platform.OrderAscendingBandwidth
+	}
+	procs, err := platform.Table1().ProcessorsOrdered(ordering)
+	if err != nil {
+		fatal(err)
+	}
+
+	// The distribution: the code-transformation story of the paper is
+	// replacing MPI_Scatter with MPI_Scatterv parameterized by the
+	// heuristic's counts.
+	var counts core.Distribution
+	if *uniform {
+		counts = core.Uniform(len(procs), *rays)
+	} else {
+		res, err := core.Heuristic(procs, *rays)
+		if err != nil {
+			fatal(err)
+		}
+		counts = res.Distribution
+	}
+
+	world, err := mpi.NewWorld(procs, len(procs)-1)
+	if err != nil {
+		fatal(err)
+	}
+
+	var tracer *seismic.Tracer
+	if *real {
+		tracer, err = seismic.NewTracer(seismic.IASP91Lite(), 200)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	stats, err := mpi.Run(world, func(c *mpi.Comm) error {
+		// if (rank == ROOT) raydata <- read n lines from data file;
+		var raydata []seismic.Event
+		if c.IsRoot() {
+			if loaded != nil {
+				raydata = loaded
+			} else {
+				raydata = seismic.SyntheticCatalog(seismic.CatalogConfig{Seed: 1999, Events: *rays})
+			}
+		}
+		// MPI_Scatterv(raydata, counts, ..., ROOT, MPI_COMM_WORLD);
+		rbuff, err := mpi.Scatterv(c, raydata, []int(counts))
+		if err != nil {
+			return err
+		}
+		// compute_work(rbuff);
+		if tracer != nil {
+			tracer.TraceAll(rbuff)
+		}
+		c.ChargeItems(len(rbuff))
+		return nil
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	mode := "balanced (MPI_Scatterv)"
+	if *uniform {
+		mode = "uniform (MPI_Scatter)"
+	}
+	fmt.Printf("seismic ray tracing: %d rays, %d ranks, %s, %s order\n\n",
+		*rays, len(procs), mode, *order)
+
+	rows := make([][]string, 0, len(stats))
+	for _, s := range stats {
+		rows = append(rows, []string{
+			s.Name,
+			fmt.Sprintf("%d", s.ItemsReceived),
+			fmt.Sprintf("%.2f", s.CommTime),
+			fmt.Sprintf("%.2f", s.IdleTime),
+			fmt.Sprintf("%.2f", s.CompTime),
+			fmt.Sprintf("%.2f", s.Finish),
+		})
+	}
+	fmt.Print(trace.Table([]string{"rank (processor)", "rays", "comm(s)", "idle(s)", "comp(s)", "total(s)"}, rows))
+	fmt.Printf("\nvirtual makespan: %.2f s\n", mpi.Makespan(stats))
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "raytrace: %v\n", err)
+	os.Exit(1)
+}

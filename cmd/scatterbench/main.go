@@ -1,0 +1,87 @@
+// Command scatterbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	scatterbench -exp all            # run every experiment
+//	scatterbench -exp fig3           # one experiment
+//	scatterbench -list               # list experiment IDs
+//	scatterbench -exp all -md out.md # also write a Markdown summary
+//
+// Experiment IDs: table1, fig1, fig2, fig3, fig4, algocost, quality,
+// ordering, bound, root. Note that algocost times the exact dynamic
+// program at the paper's full scale (817,101 items) and takes about a
+// minute.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment ID to run, or 'all'")
+		list   = flag.Bool("list", false, "list experiment IDs and exit")
+		md     = flag.String("md", "", "also write a Markdown summary to this file")
+		svgDir = flag.String("svg", "", "write figure SVGs into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiment.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	var reports []experiment.Report
+	if *exp == "all" {
+		reports = experiment.RunAll()
+	} else {
+		runner, ok := experiment.Get(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "scatterbench: unknown experiment %q (use -list)\n", *exp)
+			os.Exit(2)
+		}
+		rep, err := runner()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scatterbench: %s: %v\n", *exp, err)
+			os.Exit(1)
+		}
+		reports = []experiment.Report{rep}
+	}
+
+	for _, rep := range reports {
+		fmt.Println(rep.String())
+	}
+
+	if *svgDir != "" {
+		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "scatterbench: %v\n", err)
+			os.Exit(1)
+		}
+		for _, rep := range reports {
+			if rep.SVG == "" {
+				continue
+			}
+			path := filepath.Join(*svgDir, rep.ID+".svg")
+			if err := os.WriteFile(path, []byte(rep.SVG), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "scatterbench: write %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+	}
+
+	if *md != "" {
+		if err := os.WriteFile(*md, []byte(experiment.Markdown(reports)), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "scatterbench: write %s: %v\n", *md, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *md)
+	}
+}

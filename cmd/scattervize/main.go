@@ -1,0 +1,85 @@
+// Command scattervize is the paper's proposed source-transformation
+// tool (Section 1: the scatter replacement "can easily be automated in
+// a software tool"): it rewrites uniform mpi.Scatter calls into
+// load-balanced mpi.Scatterv calls parameterized by
+// mpi.BalancedCounts, which computes the distribution from the
+// runtime's cost model at execution time.
+//
+// Usage:
+//
+//	scattervize file.go ...      # print transformed sources to stdout
+//	scattervize -w file.go ...   # rewrite the files in place
+//	scattervize -l file.go ...   # only list files that would change
+//
+// The rewrite is a pure expression substitution:
+//
+//	buf, err := mpi.Scatter(c, data, n/c.Size())
+//
+// becomes
+//
+//	buf, err := mpi.Scatterv(c, data, mpi.BalancedCounts(c, (n/c.Size())*c.Size()))
+//
+// leaving all control flow untouched.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/transform"
+)
+
+func main() {
+	var (
+		write = flag.Bool("w", false, "write results back to the source files")
+		list  = flag.Bool("l", false, "list files whose Scatter calls would be rewritten")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: scattervize [-w|-l] file.go ...")
+		os.Exit(2)
+	}
+
+	exit := 0
+	for _, filename := range flag.Args() {
+		src, err := os.ReadFile(filename)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scattervize: %v\n", err)
+			exit = 1
+			continue
+		}
+		res, err := transform.Rewrite(filename, src)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scattervize: %v\n", err)
+			exit = 1
+			continue
+		}
+		if res.Rewrites == 0 {
+			if !*list && !*write {
+				os.Stdout.Write(res.Source)
+			}
+			continue
+		}
+		if err := transform.RewriteCheck(filename, res.Source); err != nil {
+			fmt.Fprintf(os.Stderr, "scattervize: %s: %v\n", filename, err)
+			exit = 1
+			continue
+		}
+		for _, pos := range res.Positions {
+			fmt.Fprintf(os.Stderr, "%s: rewrote Scatter -> Scatterv\n", pos)
+		}
+		switch {
+		case *list:
+			fmt.Println(filename)
+		case *write:
+			if err := os.WriteFile(filename, res.Source, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "scattervize: %v\n", err)
+				exit = 1
+			}
+		default:
+			os.Stdout.Write(res.Source)
+		}
+	}
+	os.Exit(exit)
+}

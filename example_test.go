@@ -1,0 +1,78 @@
+package scatter_test
+
+import (
+	"fmt"
+
+	scatter "repro"
+)
+
+// ExampleBalance shows the paper's core transformation: compute a
+// distribution for MPI_Scatterv instead of using a uniform MPI_Scatter.
+func ExampleBalance() {
+	procs := []scatter.Processor{
+		{Name: "fast", Comm: scatter.LinearCost(0.01), Comp: scatter.LinearCost(1)},
+		{Name: "slow", Comm: scatter.LinearCost(0.01), Comp: scatter.LinearCost(3)},
+		{Name: "root", Comm: scatter.FreeCost(), Comp: scatter.LinearCost(2)},
+	}
+	res, err := scatter.Balance(procs, 110)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("counts:", res.Distribution)
+	fmt.Printf("makespan: %.1f (uniform: %.1f)\n",
+		res.Makespan, scatter.Makespan(procs, scatter.Uniform(3, 110)))
+	// Output:
+	// counts: [60 20 30]
+	// makespan: 60.8 (uniform: 111.7)
+}
+
+// ExampleOrder shows the Theorem 3 ordering policy: receivers sorted
+// by descending link bandwidth, the root last.
+func ExampleOrder() {
+	procs := []scatter.Processor{
+		{Name: "wan", Comm: scatter.LinearCost(0.5), Comp: scatter.LinearCost(1)},
+		{Name: "lan", Comm: scatter.LinearCost(0.1), Comp: scatter.LinearCost(1)},
+		{Name: "root", Comm: scatter.FreeCost(), Comp: scatter.LinearCost(1)},
+	}
+	for _, p := range scatter.Order(procs) {
+		fmt.Println(p.Name)
+	}
+	// Output:
+	// lan
+	// wan
+	// root
+}
+
+// ExamplePredict inspects the full schedule of a distribution: the
+// idle/receive/compute phases of every processor (the data behind the
+// paper's Gantt figures).
+func ExamplePredict() {
+	procs := []scatter.Processor{
+		{Name: "w", Comm: scatter.LinearCost(1), Comp: scatter.LinearCost(2)},
+		{Name: "root", Comm: scatter.FreeCost(), Comp: scatter.LinearCost(2)},
+	}
+	tl, err := scatter.Predict(procs, scatter.Distribution{4, 4})
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range tl.Procs {
+		fmt.Printf("%s: idle %.0f, recv %.0f, comp %.0f, finish %.0f\n",
+			p.Name, p.Idle(), p.CommTime(), p.CompTime(), p.Finish())
+	}
+	// Output:
+	// w: idle 0, recv 4, comp 8, finish 12
+	// root: idle 4, recv 0, comp 8, finish 12
+}
+
+// ExampleGuaranteeBound shows the Eq. (4) optimality guarantee of the
+// affine heuristic: at most one item's worth of communication per
+// processor plus one item's worth of computation.
+func ExampleGuaranteeBound() {
+	procs := []scatter.Processor{
+		{Name: "w", Comm: scatter.AffineCost(0, 2), Comp: scatter.LinearCost(5)},
+		{Name: "root", Comm: scatter.FreeCost(), Comp: scatter.LinearCost(3)},
+	}
+	fmt.Println(scatter.GuaranteeBound(procs))
+	// Output:
+	// 7
+}

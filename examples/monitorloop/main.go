@@ -1,0 +1,105 @@
+// Monitor loop: an iterative application (repeated scatter + compute
+// batches) that queries an NWS-style monitor daemon "just before a
+// scatter operation to retrieve the instantaneous grid characteristics"
+// — the dynamic usage the paper sketches in Section 3.
+//
+// A background load wanders across the grid over ten batches; before
+// each batch the application re-balances from the monitor's forecasts,
+// and we compare against a static plan computed once at the start. The
+// executions run on the discrete-event simulator with the true
+// (drifting) load injected.
+//
+// Run with: go run ./examples/monitorloop
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/monitor"
+	"repro/internal/platform"
+	"repro/internal/simgrid"
+)
+
+const (
+	batches       = 10
+	itemsPerBatch = 50000
+)
+
+func main() {
+	base := platform.Table1()
+	procs, err := base.ProcessorsOrdered(platform.OrderDescendingBandwidth)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The plan a one-shot static balancer would use for every batch.
+	static, err := core.Heuristic(procs, itemsPerBatch)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mon := monitor.New(128, nil)
+	rng := rand.New(rand.NewSource(42))
+
+	// The wandering background job: each batch it sits on one machine
+	// at a random intensity.
+	victims := []string{"caseb", "sekhmet", "pellinore", "leda", "merlin"}
+
+	var staticTotal, adaptiveTotal float64
+	fmt.Printf("%-7s %-10s %12s %12s\n", "batch", "loaded", "static (s)", "adaptive (s)")
+	for b := 0; b < batches; b++ {
+		victim := victims[rng.Intn(len(victims))]
+		avail := 0.25 + 0.5*rng.Float64() // 25-75% of the CPU left
+
+		// The daemon samples every machine a few times before the
+		// batch; the victim reports its reduced availability.
+		for s := 0; s < 5; s++ {
+			tick := float64(b*10 + s)
+			for _, m := range base.Machines {
+				v := 1.0
+				if m.Name == victim {
+					v = avail
+				}
+				mon.Observe(monitor.CPUResource(m.Name), tick, v)
+			}
+		}
+
+		// Adaptive: re-balance from the instantaneous forecasts.
+		fresh := monitor.ApplyForecasts(base, mon)
+		freshProcs, err := fresh.ProcessorsOrdered(platform.OrderDescendingBandwidth)
+		if err != nil {
+			log.Fatal(err)
+		}
+		adaptive, err := core.Heuristic(freshProcs, itemsPerBatch)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Execute both plans against the real load. The load windows
+		// cover the whole batch.
+		load := map[string][]simgrid.RateWindow{
+			victim: {{Start: 0, End: 1e9, Factor: avail}},
+		}
+		exec := func(dist core.Distribution) float64 {
+			tl, err := simgrid.Run(simgrid.Config{Procs: procs, Dist: dist, CPULoad: load})
+			if err != nil {
+				log.Fatal(err)
+			}
+			return tl.Makespan
+		}
+		st := exec(static.Distribution)
+		ad := exec(adaptive.Distribution)
+		staticTotal += st
+		adaptiveTotal += ad
+		fmt.Printf("%-7d %-10s %12.2f %12.2f\n", b+1, fmt.Sprintf("%s@%.0f%%", victim, 100*avail), st, ad)
+	}
+
+	fmt.Printf("\ntotals over %d batches: static %.1f s, adaptive %.1f s (%.1f%% saved)\n",
+		batches, staticTotal, adaptiveTotal, 100*(staticTotal-adaptiveTotal)/staticTotal)
+	fmt.Println("\nThe monitor re-query costs one cheap LP solve per batch and keeps")
+	fmt.Println("the scatter balanced as the background load wanders — the dynamic")
+	fmt.Println("refinement the paper's Section 3 sketches on top of its static core.")
+}

@@ -1,0 +1,239 @@
+package scatter
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/monitor"
+	"repro/internal/mpi"
+	"repro/internal/platform"
+	"repro/internal/schedule"
+	"repro/internal/seismic"
+	"repro/internal/simgrid"
+)
+
+// TestIntegrationPaperPipeline runs the paper's full story end to end:
+// Table 1 platform -> Theorem 3 ordering -> guaranteed heuristic ->
+// virtual-time MPI execution with real ray tracing -> the measured
+// virtual makespan matches the analytic prediction and beats uniform.
+func TestIntegrationPaperPipeline(t *testing.T) {
+	const rays = 5000
+
+	procs, err := PlatformProcessors(Table1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Balance(procs, rays)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tracer, err := seismic.NewTracer(seismic.IASP91Lite(), 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	catalog := seismic.SyntheticCatalog(seismic.CatalogConfig{Seed: 1999, Events: rays})
+
+	world, err := mpi.NewWorld(procs, len(procs)-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced := make([]int, len(procs))
+	stats, err := mpi.Run(world, func(c *mpi.Comm) error {
+		var raydata []seismic.Event
+		if c.IsRoot() {
+			raydata = catalog
+		}
+		rbuff, err := mpi.Scatterv(c, raydata, []int(res.Distribution))
+		if err != nil {
+			return err
+		}
+		rays := tracer.TraceAll(rbuff) // real computation
+		traced[c.Rank()] = len(rays)
+		c.ChargeItems(len(rbuff)) // virtual cost per the platform model
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every ray was traced exactly once.
+	total := 0
+	for _, n := range traced {
+		total += n
+	}
+	if total != rays {
+		t.Fatalf("traced %d rays, want %d", total, rays)
+	}
+
+	// The virtual makespan equals the analytic prediction.
+	if got := mpi.Makespan(stats); math.Abs(got-res.Makespan) > 1e-6*res.Makespan {
+		t.Errorf("virtual makespan %g != predicted %g", got, res.Makespan)
+	}
+
+	// And beats the uniform baseline.
+	uniform := Makespan(procs, Uniform(len(procs), rays))
+	if res.Makespan >= uniform {
+		t.Errorf("balanced %g not better than uniform %g", res.Makespan, uniform)
+	}
+}
+
+// TestIntegrationSimulatorAgreesWithMPI cross-validates the two
+// execution substrates: the discrete-event simulator and the MPI
+// runtime must produce identical timelines for a scatter+compute
+// program on random platforms.
+func TestIntegrationSimulatorAgreesWithMPI(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		p := platformFromSeed(t, seed)
+		procs, err := p.ProcessorsOrdered(platform.OrderDescendingBandwidth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 10000
+		res, err := core.Heuristic(procs, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		tl, err := simgrid.Run(simgrid.Config{Procs: procs, Dist: res.Distribution})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		world, err := mpi.NewWorld(procs, len(procs)-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := mpi.Run(world, func(c *mpi.Comm) error {
+			var data []byte
+			if c.IsRoot() {
+				data = make([]byte, n)
+			}
+			buf, err := mpi.Scatterv(c, data, []int(res.Distribution))
+			if err != nil {
+				return err
+			}
+			c.ChargeItems(len(buf))
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for r := range procs {
+			want := tl.Procs[r].Finish()
+			got := stats[r].Finish
+			if math.Abs(got-want) > 1e-9*math.Max(1, want) {
+				t.Errorf("seed %d rank %d: MPI finish %g != simulator %g", seed, r, got, want)
+			}
+		}
+	}
+}
+
+func platformFromSeed(t *testing.T, seed int64) platform.Platform {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	return platform.Random(rng, 3+int(seed%3))
+}
+
+// TestIntegrationMonitorDrivenRebalance exercises the §3 remark: a
+// monitor daemon feeds instantaneous costs, the distribution is
+// recomputed before the scatter, and the simulated execution under the
+// degraded platform confirms the win.
+func TestIntegrationMonitorDrivenRebalance(t *testing.T) {
+	base := platform.Table1()
+	const n = 200000
+
+	// The daemon observed caseb at 30% availability for a while.
+	mon := monitor.New(64, nil)
+	for i := 0; i < 40; i++ {
+		mon.Observe(monitor.CPUResource("caseb"), float64(i), 0.3)
+	}
+	degraded := monitor.ApplyForecasts(base, mon)
+
+	staleProcs, err := base.ProcessorsOrdered(platform.OrderDescendingBandwidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale, err := core.Heuristic(staleProcs, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshProcs, err := degraded.ProcessorsOrdered(platform.OrderDescendingBandwidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := core.Heuristic(freshProcs, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Execute both distributions on the *actually degraded* grid: the
+	// simulator slows caseb's CPU to 30% for the whole run.
+	exec := func(dist core.Distribution) float64 {
+		tl, err := simgrid.Run(simgrid.Config{
+			Procs: staleProcs, // calibrated costs...
+			Dist:  dist,
+			CPULoad: map[string][]simgrid.RateWindow{ // ...with the real load peak
+				"caseb": {{Start: 0, End: 1e9, Factor: 0.3}},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tl.Makespan
+	}
+	staleTime := exec(stale.Distribution)
+	freshTime := exec(fresh.Distribution)
+	if freshTime >= staleTime {
+		t.Errorf("monitor-driven rebalance did not help: fresh %g vs stale %g", freshTime, staleTime)
+	}
+}
+
+// TestIntegrationScheduleEverywhereConsistent pins the three
+// evaluators of Eq. (1) — core.FinishTimes, schedule.Build, and
+// simgrid.Run — to each other across the Table 1 figure runs.
+func TestIntegrationScheduleEverywhereConsistent(t *testing.T) {
+	for _, ordering := range []platform.Ordering{
+		platform.OrderDescendingBandwidth,
+		platform.OrderAscendingBandwidth,
+		platform.OrderAsListed,
+	} {
+		procs, err := platform.Table1().ProcessorsOrdered(ordering)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, dist := range []core.Distribution{
+			core.Uniform(len(procs), 817101),
+			mustHeuristic(t, procs, 817101),
+		} {
+			eq1 := core.FinishTimes(procs, dist)
+			tl, err := schedule.Build(procs, dist)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sim, err := simgrid.Run(simgrid.Config{Procs: procs, Dist: dist})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range procs {
+				if math.Abs(eq1[i]-tl.Procs[i].Finish()) > 1e-6 ||
+					math.Abs(eq1[i]-sim.Procs[i].Finish()) > 1e-6 {
+					t.Fatalf("%v: evaluators disagree at proc %d: %g / %g / %g",
+						ordering, i, eq1[i], tl.Procs[i].Finish(), sim.Procs[i].Finish())
+				}
+			}
+		}
+	}
+}
+
+func mustHeuristic(t *testing.T, procs []core.Processor, n int) core.Distribution {
+	t.Helper()
+	res, err := core.Heuristic(procs, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Distribution
+}

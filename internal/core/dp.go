@@ -1,0 +1,249 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+)
+
+// Algorithm1 computes an optimal distribution of n items with the
+// paper's basic dynamic program (Algorithm 1). It only requires the
+// cost functions to be non-negative and null at x = 0, and runs in
+// O(p·n²) time and O(p·n) space.
+//
+// The recurrence follows Section 3.2: the cost of processing d items on
+// processors Pi..Pp is
+//
+//	cost[d, i] = min_{0<=e<=d} Tcomm(i,e) + max(Tcomp(i,e), cost[d-e, i+1])
+//
+// with cost[d, p] = Tcomm(p,d) + Tcomp(p,d). Among equal-cost choices
+// the smallest share e is kept (ties broken toward earlier processors
+// receiving less), so results are deterministic.
+func Algorithm1(procs []Processor, n int) (Result, error) {
+	if err := validateDPInput(procs, n); err != nil {
+		return Result{}, err
+	}
+	p := len(procs)
+
+	// choice[i][d] is the share given to processor i when d items
+	// remain for processors i..p-1.
+	choice := make([][]int32, p)
+	for i := range choice {
+		choice[i] = make([]int32, n+1)
+	}
+
+	// costNext holds cost[., i+1]; costCur is being filled for i.
+	costNext := make([]float64, n+1)
+	costCur := make([]float64, n+1)
+	// comm and comp tabulate the current processor's cost functions so
+	// the O(n²) inner loop indexes flat arrays instead of going
+	// through interface dispatch.
+	comm := make([]float64, n+1)
+	comp := make([]float64, n+1)
+
+	// Base: last processor takes everything that remains.
+	tabulate(procs[p-1], n, comm, comp)
+	for d := 0; d <= n; d++ {
+		costNext[d] = comm[d] + comp[d]
+		choice[p-1][d] = int32(d)
+	}
+
+	for i := p - 2; i >= 0; i-- {
+		tabulate(procs[i], n, comm, comp)
+		costCur[0] = comm[0] + maxf(comp[0], costNext[0])
+		choice[i][0] = 0
+		for d := 1; d <= n; d++ {
+			// e = 0 initializer (the paper's line 11).
+			sol := 0
+			min := comm[0] + maxf(comp[0], costNext[d])
+			for e := 1; e <= d; e++ {
+				m := comm[e] + maxf(comp[e], costNext[d-e])
+				if m < min {
+					sol, min = e, m
+				}
+			}
+			choice[i][d] = int32(sol)
+			costCur[d] = min
+		}
+		costCur, costNext = costNext, costCur
+	}
+
+	return reconstruct(procs, n, costNext[n], choice), nil
+}
+
+// tabulate fills comm[e] = Tcomm(i,e) and comp[e] = Tcomp(i,e) for
+// e in [0, n], using closed forms for the linear and affine cost
+// types and falling back to per-entry evaluation otherwise.
+func tabulate(pr Processor, n int, comm, comp []float64) {
+	fillCosts(pr.Comm, n, comm)
+	fillCosts(pr.Comp, n, comp)
+}
+
+func fillCosts(f cost.Function, n int, out []float64) {
+	switch cf := f.(type) {
+	case cost.Linear:
+		out[0] = 0
+		for e := 1; e <= n; e++ {
+			out[e] = cf.PerItem * float64(e)
+		}
+	case cost.Affine:
+		out[0] = 0
+		for e := 1; e <= n; e++ {
+			out[e] = cf.Fixed + cf.PerItem*float64(e)
+		}
+	default:
+		for e := 0; e <= n; e++ {
+			out[e] = f.Eval(e)
+		}
+	}
+}
+
+// Algorithm2Options selects the individual optimizations of Algorithm 2
+// so their effect can be measured (ablation benchmarks). The zero value
+// enables everything, i.e. the full Algorithm 2.
+type Algorithm2Options struct {
+	// DisableBinarySearch replaces the binary search for the
+	// communication/computation crossover (the paper's lines 16-26)
+	// with a scan starting at e = d.
+	DisableBinarySearch bool
+	// DisableEarlyBreak removes the monotonicity cutoff (the paper's
+	// lines 32-34) from the descending scan.
+	DisableEarlyBreak bool
+}
+
+// Algorithm2 computes an optimal distribution with the paper's
+// optimized dynamic program (Algorithm 2). It requires the cost
+// functions to be increasing; same worst-case complexity as Algorithm
+// 1 (O(p·n²)) but O(p·n) in the best case and far faster in practice.
+func Algorithm2(procs []Processor, n int) (Result, error) {
+	return Algorithm2Opt(procs, n, Algorithm2Options{})
+}
+
+// Algorithm2Opt is Algorithm2 with explicit optimization switches.
+func Algorithm2Opt(procs []Processor, n int, opts Algorithm2Options) (Result, error) {
+	if err := validateDPInput(procs, n); err != nil {
+		return Result{}, err
+	}
+	p := len(procs)
+
+	choice := make([][]int32, p)
+	for i := range choice {
+		choice[i] = make([]int32, n+1)
+	}
+	costNext := make([]float64, n+1)
+	costCur := make([]float64, n+1)
+	comm := make([]float64, n+1)
+	comp := make([]float64, n+1)
+
+	tabulate(procs[p-1], n, comm, comp)
+	for d := 0; d <= n; d++ {
+		costNext[d] = comm[d] + comp[d]
+		choice[p-1][d] = int32(d)
+	}
+
+	for i := p - 2; i >= 0; i-- {
+		tabulate(procs[i], n, comm, comp)
+		costCur[0] = comm[0] + maxf(comp[0], costNext[0])
+		choice[i][0] = 0
+		for d := 1; d <= n; d++ {
+			var sol int
+			var min float64
+			if opts.DisableBinarySearch {
+				// Start the descending scan from e = d.
+				sol = d
+				min = comm[d] + maxf(comp[d], costNext[0])
+			} else {
+				// Binary search for emax, the smallest e with
+				// Tcomp(i,e) >= cost[d-e, i+1]. The predicate is
+				// monotone because Tcomp increases with e while
+				// cost[d-e, i+1] decreases. emax always exists in
+				// [0, d]: at e = d the right side is cost[0, i+1],
+				// which is 0 for null-at-zero cost functions.
+				lo, hi := 0, d // invariant: predicate false at lo-1 ... search space [lo, hi]
+				for lo < hi {
+					mid := (lo + hi) / 2
+					if comp[mid] >= costNext[d-mid] {
+						hi = mid
+					} else {
+						lo = mid + 1
+					}
+				}
+				emax := lo
+				// For e >= emax the objective is Tcomm+Tcomp, both
+				// increasing, so emax is the best candidate there.
+				sol = emax
+				min = comm[emax] + maxf(comp[emax], costNext[d-emax])
+			}
+			// Descending scan over e < sol, where the max is realized
+			// by cost[d-e, i+1].
+			for e := sol - 1; e >= 0; e-- {
+				rest := costNext[d-e]
+				m := comm[e] + maxf(comp[e], rest)
+				if m < min {
+					sol, min = e, m
+				} else if !opts.DisableEarlyBreak && rest >= min {
+					// cost[d-e, i+1] only grows as e decreases and
+					// Tcomm is non-negative, so no smaller e can win.
+					break
+				}
+			}
+			choice[i][d] = int32(sol)
+			costCur[d] = min
+		}
+		costCur, costNext = costNext, costCur
+	}
+
+	return reconstruct(procs, n, costNext[n], choice), nil
+}
+
+func validateDPInput(procs []Processor, n int) error {
+	if err := ValidateProcessors(procs); err != nil {
+		return err
+	}
+	if n < 0 {
+		return fmt.Errorf("core: negative item count %d", n)
+	}
+	return nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// reconstruct walks the choice table from the full problem down to the
+// last processor and evaluates the achieved makespan with Eq. (2). The
+// evaluated makespan equals the DP cost for consistent cost functions;
+// Result reports the evaluated value so that all solvers are compared
+// on the same footing.
+func reconstruct(procs []Processor, n int, dpCost float64, choice [][]int32) Result {
+	p := len(procs)
+	dist := make(Distribution, p)
+	d := n
+	for i := 0; i < p; i++ {
+		e := int(choice[i][d])
+		dist[i] = e
+		d -= e
+	}
+	return Result{Distribution: dist, Makespan: Makespan(procs, dist)}
+}
+
+// RequireIncreasing verifies (by probing every count up to n) that all
+// processors' cost functions are increasing, the precondition of
+// Algorithm 2. Processors whose functions declare an analytic class of
+// Increasing or better are trusted without probing.
+func RequireIncreasing(procs []Processor, n int) error {
+	for i, pr := range procs {
+		for _, f := range []cost.Function{pr.Comm, pr.Comp} {
+			if cost.ClassOf(f) >= cost.Increasing {
+				continue
+			}
+			if err := cost.CheckIncreasing(f, n); err != nil {
+				return fmt.Errorf("core: processor %d (%s): %w", i, pr.Name, err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cost"
+)
+
+// This file pins down structural invariants of the optimization
+// problem itself — properties any correct solver must satisfy across
+// instances, independent of which specific distribution it picks.
+
+// TestMakespanMonotoneInN: more items can never finish earlier.
+func TestMakespanMonotoneInN(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 10; trial++ {
+		p := 1 + rng.Intn(5)
+		procs := randomLinearProcs(rng, p)
+		prev := -1.0
+		for _, n := range []int{0, 1, 5, 20, 50, 120} {
+			res, err := Algorithm2(procs, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Makespan < prev-1e-12 {
+				t.Fatalf("trial %d: makespan decreased from %g to %g at n=%d",
+					trial, prev, res.Makespan, n)
+			}
+			prev = res.Makespan
+		}
+	}
+}
+
+// TestExtraProcessorNeverHurts: appending a processor before the root
+// cannot increase the optimal makespan (the solver can always give the
+// newcomer zero items, recovering the old schedule exactly — a zero
+// share costs zero port time under null-at-zero cost functions).
+func TestExtraProcessorNeverHurts(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	for trial := 0; trial < 15; trial++ {
+		p := 1 + rng.Intn(4)
+		procs := randomLinearProcs(rng, p)
+		n := 10 + rng.Intn(60)
+		base, err := Algorithm2(procs, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		extra := Processor{
+			Name: "extra",
+			Comm: cost.Linear{PerItem: float64(rng.Intn(8)) * 0.25},
+			Comp: cost.Linear{PerItem: float64(1+rng.Intn(8)) * 0.25},
+		}
+		// Insert before the root (which must stay last).
+		bigger := append(append([]Processor(nil), procs[:p-1]...), extra, procs[p-1])
+		grown, err := Algorithm2(bigger, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if grown.Makespan > base.Makespan+1e-9 {
+			t.Errorf("trial %d: extra processor increased the optimum: %g -> %g",
+				trial, base.Makespan, grown.Makespan)
+		}
+	}
+}
+
+// TestFasterProcessorNeverHurts: speeding up one processor's CPU can
+// only help the optimum (the old distribution stays feasible with a
+// pointwise smaller finish for that processor and unchanged others).
+func TestFasterProcessorNeverHurts(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 15; trial++ {
+		p := 2 + rng.Intn(4)
+		procs := randomLinearProcs(rng, p)
+		n := 10 + rng.Intn(60)
+		base, err := Algorithm2(procs, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		faster := append([]Processor(nil), procs...)
+		which := rng.Intn(p)
+		lp, err := ExtractLinear([]Processor{procs[which]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lp[0].Beta /= 2
+		faster[which] = lp[0].Processor()
+		improved, err := Algorithm2(faster, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if improved.Makespan > base.Makespan+1e-9 {
+			t.Errorf("trial %d: halving processor %d's beta worsened the optimum: %g -> %g",
+				trial, which, base.Makespan, improved.Makespan)
+		}
+	}
+}
+
+// TestSuperadditivity: solving n1+n2 items jointly can never be worse
+// than twice solving the halves back-to-back (the concatenated
+// schedules are one feasible—but wasteful—way to do the whole job).
+func TestSuperadditivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	for trial := 0; trial < 10; trial++ {
+		p := 1 + rng.Intn(4)
+		procs := randomLinearProcs(rng, p)
+		n1, n2 := 5+rng.Intn(30), 5+rng.Intn(30)
+		whole, err := Algorithm2(procs, n1+n2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := Algorithm2(procs, n1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Algorithm2(procs, n2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if whole.Makespan > a.Makespan+b.Makespan+1e-9 {
+			t.Errorf("trial %d: T(%d+%d)=%g exceeds T(%d)+T(%d)=%g",
+				trial, n1, n2, whole.Makespan, n1, n2, a.Makespan+b.Makespan)
+		}
+	}
+}
+
+// TestUniformNeverBeatsOptimal: by definition of optimality.
+func TestUniformNeverBeatsOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 20; trial++ {
+		p := 1 + rng.Intn(6)
+		procs := randomAffineProcs(rng, p)
+		n := rng.Intn(100)
+		opt, err := Algorithm2(procs, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if uni := Makespan(procs, Uniform(p, n)); uni < opt.Makespan-1e-9 {
+			t.Errorf("trial %d: uniform %g beats 'optimal' %g", trial, uni, opt.Makespan)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cost"
+)
+
+func commBoundProcs() []Processor {
+	// Communication comparable to computation: the stair effect is
+	// big, so installments should pay off.
+	return []Processor{
+		{Name: "w1", Comm: cost.Linear{PerItem: 0.5}, Comp: cost.Linear{PerItem: 1}},
+		{Name: "w2", Comm: cost.Linear{PerItem: 0.5}, Comp: cost.Linear{PerItem: 1}},
+		{Name: "w3", Comm: cost.Linear{PerItem: 0.5}, Comp: cost.Linear{PerItem: 1}},
+		{Name: "root", Comm: cost.Zero, Comp: cost.Linear{PerItem: 1}},
+	}
+}
+
+func TestMultiRoundOneRoundMatchesHeuristic(t *testing.T) {
+	procs := commBoundProcs()
+	n := 100
+	mr, err := MultiRound(procs, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := Heuristic(procs, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mr.Totals.Validate(len(procs), n); err != nil {
+		t.Fatal(err)
+	}
+	// One round is the single-installment problem: both solvers sit
+	// on the same LP optimum, though they may round different optimal
+	// vertices, so their makespans agree within the Eq. (4) bound.
+	bound := GuaranteeBound(procs)
+	if diff := mr.Makespan - h.Makespan; diff > bound+1e-9 || diff < -bound-1e-9 {
+		t.Errorf("1-round multi-round %g vs heuristic %g differ by more than the bound %g",
+			mr.Makespan, h.Makespan, bound)
+	}
+	// And neither may beat the exact rational relaxation optimum.
+	aps, err := ExtractAffine(procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rat, err := HeuristicRational(aps, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratT, _ := rat.Makespan.Float64()
+	if mr.Makespan < ratT-1e-6 {
+		t.Errorf("1-round multi-round %g beats the LP relaxation %g", mr.Makespan, ratT)
+	}
+}
+
+func TestMultiRoundReducesStairOnCommBoundPlatform(t *testing.T) {
+	procs := commBoundProcs()
+	n := 300
+	one, err := MultiRound(procs, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := MultiRound(procs, n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if four.Makespan >= one.Makespan {
+		t.Errorf("4 rounds (%g) not better than 1 round (%g) on a comm-bound platform",
+			four.Makespan, one.Makespan)
+	}
+}
+
+func TestMultiRoundSharesSumToN(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		p := 2 + rng.Intn(3)
+		procs := randomAffineProcs(rng, p)
+		n := 10 + rng.Intn(200)
+		rounds := 1 + rng.Intn(4)
+		mr, err := MultiRound(procs, n, rounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mr.Totals.Validate(p, n); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(mr.Shares) != rounds {
+			t.Fatalf("trial %d: %d rounds, want %d", trial, len(mr.Shares), rounds)
+		}
+		for r, round := range mr.Shares {
+			for i, x := range round {
+				if x < 0 {
+					t.Fatalf("trial %d: negative share round %d proc %d", trial, r, i)
+				}
+			}
+		}
+	}
+}
+
+func TestMultiRoundLatencyBackfires(t *testing.T) {
+	// High per-message latency: many rounds pay the fixed cost per
+	// installment, so the LP should concentrate work in few rounds
+	// and the evaluated makespan of the best R-round plan should not
+	// beat 1 round by much (and the plan must never be *worse* than
+	// what the LP predicts is optimal at R=1 plus the extra fixed
+	// costs it decides to pay).
+	procs := []Processor{
+		{Name: "w1", Comm: cost.Affine{Fixed: 5, PerItem: 0.01}, Comp: cost.Linear{PerItem: 0.5}},
+		{Name: "w2", Comm: cost.Affine{Fixed: 5, PerItem: 0.01}, Comp: cost.Linear{PerItem: 0.5}},
+		{Name: "root", Comm: cost.Zero, Comp: cost.Linear{PerItem: 0.5}},
+	}
+	n := 100
+	one, err := MultiRound(procs, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eight, err := MultiRound(procs, n, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The LP charges every round's fixed cost, so with latency 5s the
+	// 8-round plan's *model* is pessimistic; the evaluated plan may
+	// shed empty rounds. Either way it should stay within a small
+	// factor of the single round, not explode.
+	if eight.Makespan > 2*one.Makespan {
+		t.Errorf("8-round plan (%g) more than doubles the 1-round makespan (%g)",
+			eight.Makespan, one.Makespan)
+	}
+}
+
+func TestMultiRoundValidation(t *testing.T) {
+	procs := commBoundProcs()
+	if _, err := MultiRound(nil, 10, 2); err == nil {
+		t.Error("no processors accepted")
+	}
+	if _, err := MultiRound(procs, -1, 2); err == nil {
+		t.Error("negative n accepted")
+	}
+	if _, err := MultiRound(procs, 10, 0); err == nil {
+		t.Error("zero rounds accepted")
+	}
+	nonAffine := []Processor{{
+		Name: "x", Comm: cost.Zero,
+		Comp: cost.Func(func(x int) float64 { return float64(x * x) }),
+	}}
+	if _, err := MultiRound(nonAffine, 10, 2); err == nil {
+		t.Error("non-affine costs accepted")
+	}
+}
+
+func TestEvaluateMultiRoundHandComputed(t *testing.T) {
+	procs := []Processor{
+		{Name: "w", Comm: cost.Linear{PerItem: 1}, Comp: cost.Linear{PerItem: 2}},
+		{Name: "root", Comm: cost.Zero, Comp: cost.Linear{PerItem: 1}},
+	}
+	// Round 1: w gets 2 (port 0->2, compute 2->6), root gets 4
+	// (compute starts at port release 2? no: root comm is free, so
+	// its installment arrives at port time 2, computes 2->6).
+	// Round 2: w gets 1 (port 2->3, cpu busy till 6, computes 6->8);
+	// root gets 0.
+	shares := [][]int{{2, 4}, {1, 0}}
+	got := EvaluateMultiRound(procs, shares)
+	if got != 8 {
+		t.Errorf("makespan = %g, want 8", got)
+	}
+}
+
+func TestEvaluateMultiRoundEmpty(t *testing.T) {
+	if got := EvaluateMultiRound(nil, nil); got != 0 {
+		t.Errorf("empty evaluation = %g", got)
+	}
+}
+
+// TestMultiRoundNeverBeatsCommFreeBound sanity-checks against the
+// trivial lower bound: total work spread perfectly with free
+// communication.
+func TestMultiRoundNeverBeatsCommFreeBound(t *testing.T) {
+	procs := commBoundProcs()
+	n := 200
+	// Lower bound: all four processors compute at 1 s/item with free
+	// comm: n/4 * 1 = 50 s.
+	mr, err := MultiRound(procs, n, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr.Makespan < 50 {
+		t.Errorf("multi-round makespan %g beats the comm-free bound 50", mr.Makespan)
+	}
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file implements the exhaustive ordering study of Section 4.4:
+// "An exact study is feasible even in the general case [...] We can
+// indeed consider all the possible orderings of our p processors, use
+// Algorithm 1 to compute the theoretical execution times, and chose
+// the best result. This is theoretically possible. In practice, for
+// large values of p such an approach is unrealistic." BestOrdering
+// makes the feasible version available (with a guard on p) and
+// OrderingStudy quantifies how much the Theorem 3 policy leaves on the
+// table.
+
+// MaxExhaustiveOrderingProcs bounds the exhaustive search: (p-1)!
+// solver calls explode quickly (9! = 362880).
+const MaxExhaustiveOrderingProcs = 10
+
+// OrderedResult is a distribution bound to the processor ordering it
+// was computed for.
+type OrderedResult struct {
+	// Order is a permutation of the input processor indices (the last
+	// input processor, the root, stays last).
+	Order []int
+	// Result is the solver's outcome on the ordered processors.
+	Result Result
+}
+
+// BestOrdering exhaustively searches every ordering of the processors
+// (keeping the root — the last input processor — last), solving each
+// with the given solver, and returns the minimizer. It refuses p >
+// MaxExhaustiveOrderingProcs; use OrderDecreasingBandwidth there (the
+// paper's recommendation, optimal in the linear case by Theorem 3).
+func BestOrdering(procs []Processor, n int, solve Solver) (OrderedResult, error) {
+	if err := ValidateProcessors(procs); err != nil {
+		return OrderedResult{}, err
+	}
+	p := len(procs)
+	if p > MaxExhaustiveOrderingProcs {
+		return OrderedResult{}, fmt.Errorf("core: exhaustive ordering over %d processors needs %d solver calls; use the Theorem 3 policy instead", p, factorial(p-1))
+	}
+	if solve == nil {
+		return OrderedResult{}, errors.New("core: nil solver")
+	}
+
+	best := OrderedResult{}
+	found := false
+	workers := make([]int, p-1)
+	for i := range workers {
+		workers[i] = i
+	}
+	var solveErr error
+	permuteInts(workers, func(perm []int) {
+		if solveErr != nil {
+			return
+		}
+		order := append(append([]int(nil), perm...), p-1)
+		res, err := solve(Permute(procs, order), n)
+		if err != nil {
+			solveErr = err
+			return
+		}
+		if !found || res.Makespan < best.Result.Makespan {
+			best = OrderedResult{Order: order, Result: res}
+			found = true
+		}
+	})
+	if solveErr != nil {
+		return OrderedResult{}, solveErr
+	}
+	return best, nil
+}
+
+// OrderingStudy compares the Theorem 3 policy against the exhaustive
+// optimum and the worst ordering, returning (policy, best, worst)
+// makespans. Subject to the same p guard as BestOrdering.
+func OrderingStudy(procs []Processor, n int, solve Solver) (policy, best, worst float64, err error) {
+	if err := ValidateProcessors(procs); err != nil {
+		return 0, 0, 0, err
+	}
+	p := len(procs)
+	if p > MaxExhaustiveOrderingProcs {
+		return 0, 0, 0, fmt.Errorf("core: ordering study over %d processors is unrealistic (the paper's own caveat)", p)
+	}
+	order := OrderDecreasingBandwidth(procs, p-1)
+	res, err := solve(Permute(procs, order), n)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	policy = res.Makespan
+
+	found := false
+	workers := make([]int, p-1)
+	for i := range workers {
+		workers[i] = i
+	}
+	var solveErr error
+	permuteInts(workers, func(perm []int) {
+		if solveErr != nil {
+			return
+		}
+		fullOrder := append(append([]int(nil), perm...), p-1)
+		r, err := solve(Permute(procs, fullOrder), n)
+		if err != nil {
+			solveErr = err
+			return
+		}
+		if !found {
+			best, worst = r.Makespan, r.Makespan
+			found = true
+			return
+		}
+		if r.Makespan < best {
+			best = r.Makespan
+		}
+		if r.Makespan > worst {
+			worst = r.Makespan
+		}
+	})
+	if solveErr != nil {
+		return 0, 0, 0, solveErr
+	}
+	return policy, best, worst, nil
+}
+
+func permuteInts(xs []int, f func([]int)) {
+	var rec func(k int)
+	rec = func(k int) {
+		if k == len(xs) {
+			f(xs)
+			return
+		}
+		for i := k; i < len(xs); i++ {
+			xs[k], xs[i] = xs[i], xs[k]
+			rec(k + 1)
+			xs[k], xs[i] = xs[i], xs[k]
+		}
+	}
+	rec(0)
+}
+
+func factorial(n int) int {
+	f := 1
+	for i := 2; i <= n; i++ {
+		f *= i
+	}
+	return f
+}

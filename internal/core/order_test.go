@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cost"
+)
+
+func TestBestOrderingFindsOptimum(t *testing.T) {
+	// A platform where the Theorem 3 ordering is provably optimal
+	// (linear costs): the exhaustive search must agree with it.
+	procs := []Processor{
+		{Name: "P1", Comm: cost.Linear{PerItem: 3}, Comp: cost.Linear{PerItem: 1}},
+		{Name: "P2", Comm: cost.Linear{PerItem: 1}, Comp: cost.Linear{PerItem: 2}},
+		{Name: "P3", Comm: cost.Linear{PerItem: 2}, Comp: cost.Linear{PerItem: 1}},
+		{Name: "root", Comm: cost.Zero, Comp: cost.Linear{PerItem: 1}},
+	}
+	best, err := BestOrdering(procs, 60, Algorithm2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	policyOrder := OrderDecreasingBandwidth(procs, 3)
+	policyRes, err := Algorithm2(Permute(procs, policyOrder), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Result.Makespan > policyRes.Makespan+1e-9 {
+		t.Errorf("exhaustive best %g worse than the policy %g", best.Result.Makespan, policyRes.Makespan)
+	}
+	// The root stays last in the returned order.
+	if best.Order[len(best.Order)-1] != 3 {
+		t.Errorf("root moved: order %v", best.Order)
+	}
+	if err := best.Result.Distribution.Validate(4, 60); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBestOrderingBeatsEveryPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 10; trial++ {
+		p := 2 + rng.Intn(3)
+		procs := randomAffineProcs(rng, p)
+		n := 5 + rng.Intn(25)
+		best, err := BestOrdering(procs, n, Algorithm2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Probe a few random permutations.
+		for probe := 0; probe < 5; probe++ {
+			perm := rng.Perm(p - 1)
+			order := append(perm, p-1)
+			res, err := Algorithm2(Permute(procs, order), n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Makespan < best.Result.Makespan-1e-9 {
+				t.Errorf("trial %d: permutation %v beats the 'best' ordering: %g < %g",
+					trial, order, res.Makespan, best.Result.Makespan)
+			}
+		}
+	}
+}
+
+func TestBestOrderingGuards(t *testing.T) {
+	big := make([]Processor, MaxExhaustiveOrderingProcs+1)
+	for i := range big {
+		big[i] = Processor{Name: "x", Comm: cost.Zero, Comp: cost.Zero}
+	}
+	if _, err := BestOrdering(big, 10, Algorithm2); err == nil {
+		t.Error("oversized exhaustive search accepted")
+	}
+	if _, err := BestOrdering(nil, 10, Algorithm2); err == nil {
+		t.Error("empty processors accepted")
+	}
+	small := []Processor{{Name: "x", Comm: cost.Zero, Comp: cost.Linear{PerItem: 1}}}
+	if _, err := BestOrdering(small, 10, nil); err == nil {
+		t.Error("nil solver accepted")
+	}
+}
+
+func TestBestOrderingSingleProcessor(t *testing.T) {
+	procs := []Processor{{Name: "solo", Comm: cost.Zero, Comp: cost.Linear{PerItem: 2}}}
+	best, err := BestOrdering(procs, 5, Algorithm2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Result.Makespan != 10 || len(best.Order) != 1 {
+		t.Errorf("solo result = %+v", best)
+	}
+}
+
+func TestOrderingStudyBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for trial := 0; trial < 8; trial++ {
+		p := 2 + rng.Intn(3)
+		procs := randomLinearProcs(rng, p)
+		n := 20 + rng.Intn(40)
+		policy, best, worst, err := OrderingStudy(procs, n, Algorithm2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best > policy+1e-9 || policy > worst+1e-9 {
+			t.Errorf("trial %d: best %g <= policy %g <= worst %g violated", trial, best, policy, worst)
+		}
+	}
+}
+
+func TestOrderingStudyGuard(t *testing.T) {
+	big := make([]Processor, MaxExhaustiveOrderingProcs+1)
+	for i := range big {
+		big[i] = Processor{Name: "x", Comm: cost.Zero, Comp: cost.Zero}
+	}
+	if _, _, _, err := OrderingStudy(big, 10, Algorithm2); err == nil {
+		t.Error("oversized study accepted")
+	}
+}
+
+func TestFactorial(t *testing.T) {
+	for n, want := range map[int]int{0: 1, 1: 1, 4: 24, 6: 720} {
+		if got := factorial(n); got != want {
+			t.Errorf("factorial(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

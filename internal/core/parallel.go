@@ -1,0 +1,105 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Algorithm2Parallel is Algorithm 2 with the inner loop parallelized:
+// within one DP row i, the entries cost[d, i] for different d are
+// independent (they only read the previous row), so they can be
+// computed by a pool of workers over chunks of the d range. The
+// row-to-row dependency remains sequential. Results are bit-identical
+// to Algorithm2.
+//
+// Parallelism pays off when n is large (the paper's 817,101-item runs
+// take tens of seconds single-threaded); for small n the goroutine
+// fan-out costs more than it saves, so callers with tiny inputs should
+// prefer Algorithm2. Workers <= 0 selects GOMAXPROCS.
+func Algorithm2Parallel(procs []Processor, n, workers int) (Result, error) {
+	if err := validateDPInput(procs, n); err != nil {
+		return Result{}, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := len(procs)
+
+	choice := make([][]int32, p)
+	for i := range choice {
+		choice[i] = make([]int32, n+1)
+	}
+	costNext := make([]float64, n+1)
+	costCur := make([]float64, n+1)
+	comm := make([]float64, n+1)
+	comp := make([]float64, n+1)
+
+	tabulate(procs[p-1], n, comm, comp)
+	for d := 0; d <= n; d++ {
+		costNext[d] = comm[d] + comp[d]
+		choice[p-1][d] = int32(d)
+	}
+
+	// Chunked parallel sweep of one row. Chunks are large enough to
+	// amortize scheduling and keep each worker on a contiguous cache
+	// range.
+	chunk := (n + workers*4) / (workers * 4)
+	if chunk < 1024 {
+		chunk = 1024
+	}
+
+	for i := p - 2; i >= 0; i-- {
+		tabulate(procs[i], n, comm, comp)
+		costCur[0] = comm[0] + maxf(comp[0], costNext[0])
+		choice[i][0] = 0
+
+		var wg sync.WaitGroup
+		for lo := 1; lo <= n; lo += chunk {
+			hi := lo + chunk - 1
+			if hi > n {
+				hi = n
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				rowRange(comm, comp, costNext, costCur, choice[i], lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+		costCur, costNext = costNext, costCur
+	}
+
+	return reconstruct(procs, n, costNext[n], choice), nil
+}
+
+// rowRange fills cost[d] and choice[d] for d in [lo, hi] using the
+// Algorithm 2 recurrence (binary-searched crossover + early break).
+// It only reads comm, comp and costNext, so disjoint ranges may run
+// concurrently.
+func rowRange(comm, comp, costNext, costCur []float64, choiceRow []int32, lo, hi int) {
+	for d := lo; d <= hi; d++ {
+		// Binary search for emax (see Algorithm2Opt).
+		l, h := 0, d
+		for l < h {
+			mid := (l + h) / 2
+			if comp[mid] >= costNext[d-mid] {
+				h = mid
+			} else {
+				l = mid + 1
+			}
+		}
+		sol := l
+		min := comm[sol] + maxf(comp[sol], costNext[d-sol])
+		for e := sol - 1; e >= 0; e-- {
+			rest := costNext[d-e]
+			m := comm[e] + maxf(comp[e], rest)
+			if m < min {
+				sol, min = e, m
+			} else if rest >= min {
+				break
+			}
+		}
+		choiceRow[d] = int32(sol)
+		costCur[d] = min
+	}
+}

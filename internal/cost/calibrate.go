@@ -1,0 +1,167 @@
+package cost
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample is one calibration measurement: the observed cost of X items.
+type Sample struct {
+	// X is the number of items measured.
+	X int
+	// Seconds is the observed duration.
+	Seconds float64
+}
+
+// FitLinear fits the model a*x to the samples by least squares through
+// the origin and returns the resulting Linear function. At least one
+// sample with X > 0 is required.
+//
+// This is how the paper's Table 1 constants are produced: "The values
+// come from a series of benchmarks we performed on our application."
+func FitLinear(samples []Sample) (Linear, error) {
+	var sxx, sxy float64
+	usable := 0
+	for _, s := range samples {
+		if s.X <= 0 {
+			continue
+		}
+		if math.IsNaN(s.Seconds) || math.IsInf(s.Seconds, 0) {
+			return Linear{}, fmt.Errorf("cost: sample (%d, %g) is not finite", s.X, s.Seconds)
+		}
+		x := float64(s.X)
+		sxx += x * x
+		sxy += x * s.Seconds
+		usable++
+	}
+	if usable == 0 {
+		return Linear{}, errors.New("cost: no usable samples (need X > 0)")
+	}
+	slope := sxy / sxx
+	if slope < 0 {
+		slope = 0
+	}
+	return Linear{PerItem: slope}, nil
+}
+
+// FitAffine fits the model c + a*x to the samples by ordinary least
+// squares and clamps both coefficients to be non-negative (re-fitting
+// the other coefficient when one clamps), so the result is a valid
+// non-negative increasing cost function. At least two samples with
+// distinct positive X are required.
+func FitAffine(samples []Sample) (Affine, error) {
+	var n, sx, sy, sxx, sxy float64
+	distinct := map[int]bool{}
+	for _, s := range samples {
+		if s.X <= 0 {
+			continue
+		}
+		if math.IsNaN(s.Seconds) || math.IsInf(s.Seconds, 0) {
+			return Affine{}, fmt.Errorf("cost: sample (%d, %g) is not finite", s.X, s.Seconds)
+		}
+		x := float64(s.X)
+		n++
+		sx += x
+		sy += s.Seconds
+		sxx += x * x
+		sxy += x * s.Seconds
+		distinct[s.X] = true
+	}
+	if len(distinct) < 2 {
+		return Affine{}, errors.New("cost: need samples at two distinct positive item counts")
+	}
+	det := n*sxx - sx*sx
+	slope := (n*sxy - sx*sy) / det
+	intercept := (sy*sxx - sx*sxy) / det
+	if intercept < 0 {
+		// Clamp the intercept and re-fit the slope through the origin.
+		intercept = 0
+		slope = sxy / sxx
+	}
+	if slope < 0 {
+		// Degenerate decreasing data: fall back to a constant model.
+		slope = 0
+		intercept = sy / n
+	}
+	return Affine{Fixed: intercept, PerItem: slope}, nil
+}
+
+// FitResidual reports the root-mean-square residual of f against the
+// samples, a goodness-of-fit measure for calibration campaigns.
+func FitResidual(f Function, samples []Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	var ss float64
+	for _, s := range samples {
+		d := f.Eval(s.X) - s.Seconds
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(samples)))
+}
+
+// TableFromSamples builds a Table cost function by sorting the samples,
+// averaging duplicates, and interpolating the gaps linearly up to the
+// largest measured X. The result is marked increasing only if the
+// averaged measurements are monotone.
+func TableFromSamples(samples []Sample) (Table, error) {
+	if len(samples) == 0 {
+		return Table{}, errors.New("cost: no samples")
+	}
+	maxX := 0
+	sums := map[int]float64{}
+	counts := map[int]int{}
+	for _, s := range samples {
+		if s.X < 0 {
+			return Table{}, fmt.Errorf("cost: negative item count %d", s.X)
+		}
+		if math.IsNaN(s.Seconds) || math.IsInf(s.Seconds, 0) || s.Seconds < 0 {
+			return Table{}, fmt.Errorf("cost: sample (%d, %g) is invalid", s.X, s.Seconds)
+		}
+		sums[s.X] += s.Seconds
+		counts[s.X]++
+		if s.X > maxX {
+			maxX = s.X
+		}
+	}
+	if maxX == 0 {
+		return Table{}, errors.New("cost: all samples at X = 0")
+	}
+	xs := make([]int, 0, len(sums))
+	for x := range sums {
+		xs = append(xs, x)
+	}
+	sort.Ints(xs)
+
+	values := make([]float64, maxX+1)
+	// Known points (averaged).
+	known := make(map[int]float64, len(xs))
+	for _, x := range xs {
+		known[x] = sums[x] / float64(counts[x])
+	}
+	known[0] = 0 // cost of zero items is zero by definition
+
+	// Interpolate between consecutive known points.
+	prevX, prevY := 0, 0.0
+	for _, x := range xs {
+		if x == 0 {
+			continue
+		}
+		y := known[x]
+		for i := prevX; i <= x; i++ {
+			values[i] = interpolate(Breakpoint{X: prevX, Y: prevY}, Breakpoint{X: x, Y: y}, i)
+		}
+		prevX, prevY = x, y
+	}
+
+	increasing := true
+	for i := 1; i < len(values); i++ {
+		if values[i] < values[i-1] {
+			increasing = false
+			break
+		}
+	}
+	return Table{Values: values, Increasing: increasing}, nil
+}

@@ -1,0 +1,411 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func init() {
+	register("algocost", AlgoCost)
+	register("quality", HeuristicQuality)
+	register("ordering", OrderingPolicies)
+	register("bound", GuaranteeBoundCheck)
+	register("root", RootChoice)
+}
+
+// AlgoCost reproduces the Section 5.2 algorithm-cost anecdote: with
+// 817,101 rays, "Algorithm 1 takes more than two days of work (we
+// interrupted it before its completion) and Algorithm 2 takes 6
+// minutes whereas the heuristic execution is instantaneous". We time
+// Algorithm 1 on an n sweep and extrapolate its fitted power law to
+// full scale, time Algorithm 2 and the heuristic directly.
+func AlgoCost() (Report, error) {
+	return AlgoCostWith([]int{250, 500, 1000, 2000, 4000}, platform.Table1Rays)
+}
+
+// AlgoCostWith is AlgoCost with an explicit Algorithm 1 sweep and a
+// full-scale n for Algorithm 2 and the heuristic (tests use a reduced
+// scale; the default is the paper's 817,101 rays).
+func AlgoCostWith(ns []int, fullN int) (Report, error) {
+	procs, err := platform.Table1().ProcessorsOrdered(platform.OrderDescendingBandwidth)
+	if err != nil {
+		return Report{}, err
+	}
+
+	var sb strings.Builder
+	var rows [][]string
+	var xs, ys []float64
+	for _, n := range ns {
+		start := time.Now()
+		if _, err := core.Algorithm1(procs, n); err != nil {
+			return Report{}, err
+		}
+		d := time.Since(start).Seconds()
+		xs = append(xs, float64(n))
+		ys = append(ys, d)
+		rows = append(rows, []string{"Algorithm 1", fmt.Sprintf("%d", n), fmt.Sprintf("%.4f", d), "measured"})
+	}
+	k, e, err := stats.FitPowerLaw(xs, ys)
+	if err != nil {
+		return Report{}, err
+	}
+	alg1Full := k * powf(float64(fullN), e)
+	rows = append(rows, []string{"Algorithm 1", fmt.Sprintf("%d", fullN),
+		fmt.Sprintf("%.0f", alg1Full), fmt.Sprintf("extrapolated (t = %.3g * n^%.2f)", k, e)})
+
+	// Algorithm 2, full scale.
+	start := time.Now()
+	a2, err := core.Algorithm2(procs, fullN)
+	if err != nil {
+		return Report{}, err
+	}
+	alg2Time := time.Since(start).Seconds()
+	rows = append(rows, []string{"Algorithm 2", fmt.Sprintf("%d", fullN),
+		fmt.Sprintf("%.2f", alg2Time), "measured"})
+
+	// Heuristic, full scale.
+	start = time.Now()
+	h, err := core.Heuristic(procs, fullN)
+	if err != nil {
+		return Report{}, err
+	}
+	heurTime := time.Since(start).Seconds()
+	rows = append(rows, []string{"heuristic", fmt.Sprintf("%d", fullN),
+		fmt.Sprintf("%.4f", heurTime), "measured"})
+
+	sb.WriteString(trace.Table([]string{"algorithm", "n", "runtime (s)", "notes"}, rows))
+	fmt.Fprintf(&sb, "\nAlgorithm 1 empirical exponent in n: %.2f (theory: 2)\n", e)
+	fmt.Fprintf(&sb, "makespan check: Algorithm 2 %.2f s vs heuristic %.2f s (rel. err %.2e)\n",
+		a2.Makespan, h.Makespan, stats.RelativeError(h.Makespan, a2.Makespan))
+
+	return Report{
+		ID:    "algocost",
+		Title: "cost of computing the distribution (Section 5.2 anecdote)",
+		Body:  sb.String(),
+		Comparisons: []Comparison{
+			{Metric: fmt.Sprintf("Algorithm 1 at n=%d", fullN), Paper: 2 * 24 * 3600, Measured: alg1Full, Unit: "s",
+				Note: "paper: '>2 days, interrupted' on a PIII/933; ours extrapolated"},
+			{Metric: fmt.Sprintf("Algorithm 2 at n=%d", fullN), Paper: 360, Measured: alg2Time, Unit: "s",
+				Note: "paper: 6 minutes on a PIII/933"},
+			{Metric: fmt.Sprintf("heuristic at n=%d", fullN), Paper: 0, Measured: heurTime, Unit: "s",
+				Note: "paper: 'instantaneous'"},
+			{Metric: "Alg.2 / heuristic runtime", Paper: 0, Measured: alg2Time / heurTime, Unit: "x",
+				Note: "ordering claim: DP orders of magnitude slower"},
+		},
+	}, nil
+}
+
+func powf(x, e float64) float64 { return math.Pow(x, e) }
+
+// HeuristicQuality reproduces the heuristic-quality claim of Section
+// 5.2: "an error relative to the optimal solution of less than 6e-6".
+// We compare the heuristic against the exact Algorithm 2 optimum on an
+// n sweep of the Table 1 platform.
+func HeuristicQuality() (Report, error) {
+	procs, err := platform.Table1().ProcessorsOrdered(platform.OrderDescendingBandwidth)
+	if err != nil {
+		return Report{}, err
+	}
+	var rows [][]string
+	worst, last := 0.0, 0.0
+	sweep := []int{1000, 10000, 50000, 200000}
+	for _, n := range sweep {
+		opt, err := core.Algorithm2(procs, n)
+		if err != nil {
+			return Report{}, err
+		}
+		h, err := core.Heuristic(procs, n)
+		if err != nil {
+			return Report{}, err
+		}
+		rel := stats.RelativeError(h.Makespan, opt.Makespan)
+		if rel > worst {
+			worst = rel
+		}
+		last = rel
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.4f", opt.Makespan),
+			fmt.Sprintf("%.4f", h.Makespan),
+			fmt.Sprintf("%.2e", rel),
+		})
+	}
+	body := trace.Table([]string{"n", "optimal makespan (s)", "heuristic makespan (s)", "relative error"}, rows) +
+		"\nThe error shrinks with n: the rounding moves at most one item per\n" +
+		"processor while the optimal makespan grows linearly in n, so the\n" +
+		"paper's 6e-6 at n=817101 corresponds to the tail of this series.\n"
+	return Report{
+		ID:    "quality",
+		Title: "heuristic quality versus the exact optimum (Section 5.2)",
+		Body:  body,
+		Comparisons: []Comparison{
+			{Metric: fmt.Sprintf("relative error at n=%d", sweep[len(sweep)-1]), Paper: 6e-6, Measured: last, Unit: "",
+				Note: "paper: < 6e-6 at n=817101 (error scales as 1/n)"},
+			{Metric: "max relative error (small-n sweep)", Paper: 0, Measured: worst, Unit: "",
+				Note: "dominated by the smallest n: one item is ~1% of a share there"},
+		},
+	}, nil
+}
+
+// OrderingPolicies validates Theorem 3 on the Table 1 platform: the
+// descending-bandwidth order yields the best balanced makespan, the
+// ascending order the worst, with random orders in between; and on
+// small sub-platforms an exhaustive permutation check confirms
+// optimality of the policy.
+func OrderingPolicies() (Report, error) {
+	n := platform.Table1Rays
+	mkOrder := func(o platform.Ordering) (float64, error) {
+		procs, err := platform.Table1().ProcessorsOrdered(o)
+		if err != nil {
+			return 0, err
+		}
+		res, err := core.Heuristic(procs, n)
+		if err != nil {
+			return 0, err
+		}
+		return res.Makespan, nil
+	}
+	desc, err := mkOrder(platform.OrderDescendingBandwidth)
+	if err != nil {
+		return Report{}, err
+	}
+	asc, err := mkOrder(platform.OrderAscendingBandwidth)
+	if err != nil {
+		return Report{}, err
+	}
+	listed, err := mkOrder(platform.OrderAsListed)
+	if err != nil {
+		return Report{}, err
+	}
+
+	// Random worker orders (root stays last).
+	procsDesc, err := platform.Table1().ProcessorsOrdered(platform.OrderDescendingBandwidth)
+	if err != nil {
+		return Report{}, err
+	}
+	rng := rand.New(rand.NewSource(99))
+	var randomMakespans []float64
+	for trial := 0; trial < 10; trial++ {
+		perm := rng.Perm(len(procsDesc) - 1)
+		shuffled := make([]core.Processor, 0, len(procsDesc))
+		for _, idx := range perm {
+			shuffled = append(shuffled, procsDesc[idx])
+		}
+		shuffled = append(shuffled, procsDesc[len(procsDesc)-1])
+		res, err := core.Heuristic(shuffled, n)
+		if err != nil {
+			return Report{}, err
+		}
+		randomMakespans = append(randomMakespans, res.Makespan)
+	}
+	randomSummary := stats.Summarize(randomMakespans)
+
+	// Exhaustive check on a 5-processor sub-platform (4! = 24 orders).
+	sub := procsDesc[:4]
+	sub = append(append([]core.Processor(nil), sub...), procsDesc[len(procsDesc)-1])
+	lps, err := core.ExtractLinear(sub)
+	if err != nil {
+		return Report{}, err
+	}
+	bestPerm, worstPerm := 0.0, 0.0
+	first := true
+	descSub, err := core.SolveLinearRational(lps, 100000)
+	if err != nil {
+		return Report{}, err
+	}
+	permuteLPs(lps[:4], func(perm []core.LinearProcessor) {
+		cand := append(append([]core.LinearProcessor(nil), perm...), lps[4])
+		sol, err2 := core.SolveLinearRational(cand, 100000)
+		if err2 != nil {
+			err = err2
+			return
+		}
+		if first || sol.Makespan < bestPerm {
+			bestPerm = sol.Makespan
+		}
+		if first || sol.Makespan > worstPerm {
+			worstPerm = sol.Makespan
+		}
+		first = false
+	})
+	if err != nil {
+		return Report{}, err
+	}
+
+	rows := [][]string{
+		{"descending bandwidth (Theorem 3)", fmt.Sprintf("%.2f", desc)},
+		{"as listed (Table 1 order)", fmt.Sprintf("%.2f", listed)},
+		{"random (mean of 10)", fmt.Sprintf("%.2f", randomSummary.Mean)},
+		{"random (worst of 10)", fmt.Sprintf("%.2f", randomSummary.Max)},
+		{"ascending bandwidth", fmt.Sprintf("%.2f", asc)},
+	}
+	body := trace.Table([]string{"ordering", "balanced makespan (s)"}, rows) +
+		fmt.Sprintf("\nexhaustive 5-processor check: policy order %.4f s, best permutation %.4f s, worst %.4f s\n",
+			descSub.Makespan, bestPerm, worstPerm)
+
+	return Report{
+		ID:    "ordering",
+		Title: "processor ordering policy (Theorem 3)",
+		Body:  body,
+		Comparisons: []Comparison{
+			{Metric: "asc - desc makespan penalty", Paper: 56, Measured: asc - desc, Unit: "s",
+				Note: "paper: Figure 4 ran 56 s longer than Figure 3"},
+			{Metric: "policy vs best permutation (5 procs)", Paper: 1, Measured: descSub.Makespan / bestPerm, Unit: "x",
+				Note: "Theorem 3: the policy is optimal (ratio 1)"},
+		},
+	}, nil
+}
+
+func permuteLPs(xs []core.LinearProcessor, f func([]core.LinearProcessor)) {
+	var rec func(k int)
+	rec = func(k int) {
+		if k == len(xs) {
+			f(xs)
+			return
+		}
+		for i := k; i < len(xs); i++ {
+			xs[k], xs[i] = xs[i], xs[k]
+			rec(k + 1)
+			xs[k], xs[i] = xs[i], xs[k]
+		}
+	}
+	rec(0)
+}
+
+// GuaranteeBoundCheck validates Eq. (4) empirically: on random affine
+// platforms the heuristic's makespan T' never exceeds the rational
+// optimum by more than sum_j Tcomm(j,1) + max_i Tcomp(i,1).
+func GuaranteeBoundCheck() (Report, error) {
+	rng := rand.New(rand.NewSource(7))
+	trials := 60
+	var worstFrac float64
+	violations := 0
+	for trial := 0; trial < trials; trial++ {
+		p := 2 + rng.Intn(8)
+		aps := make([]core.AffineProcessor, p)
+		for i := range aps {
+			aps[i] = core.AffineProcessor{
+				Name:        fmt.Sprintf("w%d", i),
+				CommFixed:   rng.Float64() * 0.5,
+				CommPerItem: rng.Float64() * 0.01,
+				CompFixed:   rng.Float64() * 0.5,
+				CompPerItem: 0.001 + rng.Float64()*0.02,
+			}
+		}
+		aps[p-1].CommFixed, aps[p-1].CommPerItem = 0, 0 // root
+		procs := make([]core.Processor, p)
+		for i, ap := range aps {
+			procs[i] = ap.Processor()
+		}
+		n := 100 + rng.Intn(5000)
+		rat, err := core.HeuristicRational(aps, n)
+		if err != nil {
+			return Report{}, err
+		}
+		h, err := core.Heuristic(procs, n)
+		if err != nil {
+			return Report{}, err
+		}
+		ratT, _ := rat.Makespan.Float64()
+		bound := core.GuaranteeBound(procs)
+		gap := h.Makespan - ratT
+		if gap > bound+1e-9 {
+			violations++
+		}
+		if bound > 0 && gap/bound > worstFrac {
+			worstFrac = gap / bound
+		}
+	}
+	body := fmt.Sprintf(
+		"%d random affine platforms (p in [2,9], n in [100,5100)):\n"+
+			"  Eq. (4) violations: %d\n"+
+			"  worst observed gap as a fraction of the bound: %.3f\n"+
+			"The bound is loose in practice: the rounding moves each share by\n"+
+			"less than one item, and only a few of those moves land on the\n"+
+			"critical path.\n", trials, violations, worstFrac)
+	return Report{
+		ID:    "bound",
+		Title: "rounding guarantee of Eq. (4)",
+		Body:  body,
+		Comparisons: []Comparison{
+			{Metric: "Eq. (4) violations", Paper: 0, Measured: float64(violations), Unit: "",
+				Note: "guaranteed by construction"},
+		},
+	}, nil
+}
+
+// RootChoice reproduces the Section 3.4 procedure on the Table 1 grid:
+// the data set lives on dinadan; shipping it to another machine before
+// scattering costs n times that machine's alpha (star topology through
+// the dinadan-side switch). The evaluation picks the root minimizing
+// transfer plus balanced makespan.
+func RootChoice() (Report, error) {
+	p := platform.Table1()
+	n := platform.Table1Rays
+	var candidates []core.RootChoice
+	for _, rootM := range p.Machines {
+		cand := p
+		cand.Root = rootM.Name
+		// Rebuild the machine list with communication costs as seen
+		// from the candidate root: alpha(root->w) = alpha(w) +
+		// alpha(root) for w != root (both legs of the star).
+		cand.Machines = nil
+		for _, m := range p.Machines {
+			m2 := m
+			if m.Name != rootM.Name {
+				m2.Alpha = m.Alpha + rootM.Alpha
+			} else {
+				m2.Alpha = 0
+			}
+			cand.Machines = append(cand.Machines, m2)
+		}
+		procs, err := cand.ProcessorsOrdered(platform.OrderDescendingBandwidth)
+		if err != nil {
+			return Report{}, err
+		}
+		candidates = append(candidates, core.RootChoice{
+			Name:     rootM.Name,
+			Transfer: float64(n) * rootM.Alpha,
+			Procs:    procs,
+		})
+	}
+	best, evals, err := core.ChooseRoot(n, candidates, core.Heuristic)
+	if err != nil {
+		return Report{}, err
+	}
+	var rows [][]string
+	for _, ev := range evals {
+		rows = append(rows, []string{
+			ev.Choice.Name,
+			fmt.Sprintf("%.2f", ev.Choice.Transfer),
+			fmt.Sprintf("%.2f", ev.Result.Makespan),
+			fmt.Sprintf("%.2f", ev.Total),
+		})
+	}
+	body := trace.Table([]string{"candidate root", "transfer (s)", "balanced makespan (s)", "total (s)"}, rows) +
+		fmt.Sprintf("\nbest root: %s\n", evals[best].Choice.Name)
+	return Report{
+		ID:    "root",
+		Title: "root processor choice (Section 3.4)",
+		Body:  body,
+		Comparisons: []Comparison{
+			{Metric: "best root is the data holder", Paper: 1, Measured: b2f(evals[best].Choice.Name == "dinadan"), Unit: "",
+				Note: "the paper keeps the data on dinadan; moving 817k rays never pays off"},
+		},
+	}, nil
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

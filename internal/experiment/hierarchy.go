@@ -1,0 +1,234 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/platform"
+	"repro/internal/trace"
+)
+
+func init() {
+	register("hierarchy", HierarchicalScatter)
+}
+
+// HierarchicalScatter probes a known weakness of the paper's flat,
+// single-level scatter on wide-area grids: every remote processor's
+// share crosses the WAN as its own message. A site-aware two-level
+// scatter (root ships each remote site's whole block to a site leader,
+// which re-scatters over the LAN) pays the WAN latency once per site
+// instead of once per rank. On the paper's testbed the WAN latency was
+// negligible ("linear communication costs is sufficiently accurate in
+// our case"), so we sweep the per-message latency from 0 upward and
+// report where the hierarchy starts to win.
+func HierarchicalScatter() (Report, error) {
+	// The Table 1 grid with site information: leda's 8 CPUs are the
+	// remote Montpellier site, everything else is local Strasbourg.
+	p := platform.Table1()
+	procs, err := p.ProcessorsOrdered(platform.OrderDescendingBandwidth)
+	if err != nil {
+		return Report{}, err
+	}
+	nRanks := len(procs)
+	rootRank := nRanks - 1
+	site := func(rank int) int {
+		name := procs[rank].Name
+		if len(name) >= 4 && name[:4] == "leda" {
+			return 1
+		}
+		return 0
+	}
+	lps, err := core.ExtractLinear(procs)
+	if err != nil {
+		return Report{}, err
+	}
+
+	const n = platform.Table1Rays
+	counts, err := core.Heuristic(procs, n)
+	if err != nil {
+		return Report{}, err
+	}
+
+	runFlat := func(latency float64) (float64, error) {
+		w, err := mpi.NewWorld(procs, rootRank)
+		if err != nil {
+			return 0, err
+		}
+		w.SetTransferModel(siteModel(lps, site, rootRank, latency))
+		stats, err := mpi.Run(w, func(c *mpi.Comm) error {
+			var in []int32
+			if c.IsRoot() {
+				in = make([]int32, n)
+			}
+			buf, err := mpi.Scatterv(c, in, []int(counts.Distribution))
+			if err != nil {
+				return err
+			}
+			c.ChargeItems(len(buf))
+			return nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		return mpi.Makespan(stats), nil
+	}
+
+	runHier := func(latency float64) (float64, error) {
+		w, err := mpi.NewWorld(procs, rootRank)
+		if err != nil {
+			return 0, err
+		}
+		w.SetTransferModel(siteModel(lps, site, rootRank, latency))
+		// Remote block: every leda rank's share, shipped to the first
+		// leda rank in one message.
+		remoteTotal := 0
+		leader := -1
+		for r := 0; r < nRanks; r++ {
+			if site(r) == 1 {
+				remoteTotal += counts.Distribution[r]
+				if leader < 0 {
+					leader = r
+				}
+			}
+		}
+		stats, err := mpi.Run(w, func(c *mpi.Comm) error {
+			var in []int32
+			if c.IsRoot() {
+				in = make([]int32, n)
+			}
+			// Split by site, with the data-holding root forced to
+			// sub-rank 0 of the local group so it serves its own site
+			// first — the same local service order as the flat run.
+			key := c.Rank()
+			if c.IsRoot() {
+				key = -1
+			}
+			sub, err := mpi.Split(c, site(c.Rank()), key)
+			if err != nil {
+				return err
+			}
+			subCounts := make([]int, sub.Size())
+			for i := 0; i < sub.Size(); i++ {
+				subCounts[i] = counts.Distribution[sub.ParentRank(i)]
+			}
+
+			var buf []int32
+			if site(c.Rank()) == 0 {
+				// Level 1a: the root scatters the local shares.
+				var subData []int32
+				if c.IsRoot() {
+					subData = make([]int32, n)
+				}
+				buf, err = mpi.Scatterv(sub, subData, subCounts)
+				if err != nil {
+					return err
+				}
+				c.Merge(sub)
+				// Level 1b: one WAN message carries the whole remote
+				// block to the site leader.
+				if c.IsRoot() {
+					if err := c.Send(leader, in[:remoteTotal], remoteTotal); err != nil {
+						return err
+					}
+				}
+			} else {
+				// Level 2: the remote leader receives the block and
+				// re-scatters it over the (intra-machine) LAN.
+				if c.Rank() == leader {
+					if _, err := c.Recv(rootRank); err != nil {
+						return err
+					}
+				}
+				var subData []int32
+				if sub.Rank() == sub.Root() {
+					subData = make([]int32, n)
+				}
+				buf, err = mpi.Scatterv(sub, subData, subCounts)
+				if err != nil {
+					return err
+				}
+				c.Merge(sub)
+			}
+			c.ChargeItems(len(buf))
+			return nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		return mpi.Makespan(stats), nil
+	}
+
+	var rows [][]string
+	gain := map[float64]float64{}
+	for _, latency := range []float64{0, 0.5, 2, 5} {
+		flat, err := runFlat(latency)
+		if err != nil {
+			return Report{}, err
+		}
+		hier, err := runHier(latency)
+		if err != nil {
+			return Report{}, err
+		}
+		gain[latency] = flat - hier
+		rows = append(rows, []string{
+			fmt.Sprintf("%.1f", latency),
+			fmt.Sprintf("%.2f", flat),
+			fmt.Sprintf("%.2f", hier),
+			fmt.Sprintf("%+.2f", flat-hier),
+		})
+	}
+
+	body := trace.Table([]string{"WAN latency (s/msg)", "flat scatter (s)", "two-level scatter (s)", "saving"}, rows) +
+		"\nAt the paper's effective latency (~0) the flat single-level\n" +
+		"scatter it assumes is the right call — the hierarchy only\n" +
+		"reshuffles the same bytes. As per-message WAN latency grows, the\n" +
+		"two-level scheme amortizes it across the remote site's 8 CPUs and\n" +
+		"pulls ahead, which is when topology-aware collectives (MPICH-G2's\n" +
+		"reason for existing, Section 1) become necessary.\n"
+
+	return Report{
+		ID:    "hierarchy",
+		Title: "flat vs site-aware two-level scatter (extension)",
+		Body:  body,
+		Comparisons: []Comparison{
+			{Metric: "two-level saving at zero latency", Paper: 0, Measured: gain[0], Unit: "s",
+				Note: "paper's regime: flat is fine"},
+			{Metric: "two-level saving at 2s latency", Paper: 0, Measured: gain[2], Unit: "s",
+				Note: "near the crossover"},
+			{Metric: "two-level saving at 5s latency", Paper: 0, Measured: gain[5], Unit: "s",
+				Note: "high-latency WAN: hierarchy amortizes per-message cost"},
+		},
+	}, nil
+}
+
+// siteModel builds a transfer model over the ordered Table 1
+// processors: per-item costs from the calibrated alphas (the
+// destination's, as in the star model), plus a per-message latency on
+// cross-site transfers. Intra-machine transfers (same leda box) are
+// free.
+func siteModel(lps []core.LinearProcessor, site func(int) int, rootRank int, latency float64) mpi.TransferModel {
+	return func(from, to, items int) float64 {
+		if from == to || items == 0 {
+			return 0
+		}
+		// Per-item leg cost: the non-root endpoint's alpha (both legs
+		// when neither endpoint is the root).
+		cost := 0.0
+		if from != rootRank {
+			cost += lps[from].Alpha * float64(items)
+		}
+		if to != rootRank {
+			cost += lps[to].Alpha * float64(items)
+		}
+		if site(from) == 1 && site(to) == 1 {
+			// Same remote machine (the leda Origin): its CPUs share
+			// memory, so the intra-site re-scatter is almost free.
+			cost = 1e-7 * float64(items)
+		}
+		if site(from) != site(to) {
+			cost += latency
+		}
+		return cost
+	}
+}

@@ -1,0 +1,99 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/masterslave"
+	"repro/internal/platform"
+	"repro/internal/simgrid"
+	"repro/internal/trace"
+)
+
+func init() {
+	register("masterslave", StaticVsDynamic)
+}
+
+// StaticVsDynamic quantifies the paper's Section 6 argument against
+// dynamic master/worker scheduling: "the dynamic load evaluation and
+// data redistribution make the execution suffer from overheads that
+// can be avoided with a static approach". We run the Table 1 grid
+// under (a) accurate calibration, where the static balanced scatter
+// should win every chunk size, and (b) an unannounced load peak, where
+// the dynamic scheme's adaptivity pays off — the honest flip side the
+// paper's static assumption trades away.
+func StaticVsDynamic() (Report, error) {
+	procs, err := platform.Table1().ProcessorsOrdered(platform.OrderDescendingBandwidth)
+	if err != nil {
+		return Report{}, err
+	}
+	const n = platform.Table1Rays
+	const overhead = 0.01 // 10 ms per chunk request round-trip
+	chunks := []int{1000, 5000, 20000, 80000}
+
+	static, err := core.Heuristic(procs, n)
+	if err != nil {
+		return Report{}, err
+	}
+
+	var rows [][]string
+	runScenario := func(label string, load map[string][]simgrid.RateWindow) (staticT float64, bestDynamic float64, err error) {
+		tl, err := simgrid.Run(simgrid.Config{Procs: procs, Dist: static.Distribution, CPULoad: load})
+		if err != nil {
+			return 0, 0, err
+		}
+		staticT = tl.Makespan
+		rows = append(rows, []string{label + " / static scatterv", "-", fmt.Sprintf("%.2f", staticT)})
+		first := true
+		for _, cs := range chunks {
+			r, err := masterslave.Run(masterslave.Config{
+				Procs:           procs,
+				Items:           n,
+				ChunkSize:       cs,
+				RequestOverhead: overhead,
+				CPULoad:         load,
+			})
+			if err != nil {
+				return 0, 0, err
+			}
+			rows = append(rows, []string{label + " / dynamic", fmt.Sprintf("%d", cs), fmt.Sprintf("%.2f", r.Makespan)})
+			if first || r.Makespan < bestDynamic {
+				bestDynamic = r.Makespan
+				first = false
+			}
+		}
+		return staticT, bestDynamic, nil
+	}
+
+	calibStatic, calibDynamic, err := runScenario("calibrated grid", nil)
+	if err != nil {
+		return Report{}, err
+	}
+	peak := map[string][]simgrid.RateWindow{
+		"caseb": {{Start: 0, End: 1e9, Factor: 0.1}},
+	}
+	peakStatic, peakDynamic, err := runScenario("surprise load peak", peak)
+	if err != nil {
+		return Report{}, err
+	}
+
+	body := trace.Table([]string{"scenario / scheduler", "chunk size", "makespan (s)"}, rows) +
+		"\nWith accurate calibration the static balanced scatter wins: the\n" +
+		"dynamic scheme pays a request overhead per chunk and leaves workers\n" +
+		"idle while the master's port serializes transfers. When a worker\n" +
+		"unexpectedly degrades (caseb at 10% here), the static distribution\n" +
+		"is stuck with its stale shares while the dynamic scheme routes\n" +
+		"work away — the adaptivity/overhead trade-off of Section 6.\n"
+
+	return Report{
+		ID:    "masterslave",
+		Title: "static balanced scatter vs dynamic master/worker (Section 6 baseline)",
+		Body:  body,
+		Comparisons: []Comparison{
+			{Metric: "calibrated: dynamic/static makespan", Paper: 0, Measured: calibDynamic / calibStatic, Unit: "x",
+				Note: "paper's claim: static avoids dynamic overheads (>1)"},
+			{Metric: "load peak: dynamic/static makespan", Paper: 0, Measured: peakDynamic / peakStatic, Unit: "x",
+				Note: "the flip side: adaptivity wins under surprises (<1)"},
+		},
+	}, nil
+}

@@ -1,0 +1,94 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/trace"
+)
+
+func init() {
+	register("multiround", MultiRoundStudy)
+}
+
+// MultiRoundStudy extends the paper toward the divisible-load
+// multi-installment technique its Section 6 surveys: splitting each
+// share into R rounds lets far processors start computing earlier,
+// attacking the stair effect. We sweep R on (a) the Table 1 grid,
+// where communication is a sliver of the runtime and one installment
+// is nearly optimal — supporting the paper's single-scatter design —
+// and (b) a communication-bound variant where installments win
+// measurably.
+func MultiRoundStudy() (Report, error) {
+	procs, err := platform.Table1().ProcessorsOrdered(platform.OrderDescendingBandwidth)
+	if err != nil {
+		return Report{}, err
+	}
+	lps, err := core.ExtractLinear(procs)
+	if err != nil {
+		return Report{}, err
+	}
+	commBound := make([]core.Processor, len(lps))
+	for i, lp := range lps {
+		lp.Alpha *= 200 // drag the links into the compute's ballpark
+		commBound[i] = lp.Processor()
+	}
+
+	// Moderate n keeps the exact rational LP (rounds*17 variables)
+	// fast while preserving the ratios.
+	const n = 50000
+	rounds := []int{1, 2, 4, 8}
+
+	var rows [][]string
+	gain := map[string]float64{}
+	for _, sc := range []struct {
+		name  string
+		procs []core.Processor
+	}{
+		{"table-1 grid", procs},
+		{"comm-bound (alpha x200)", commBound},
+	} {
+		var oneRound float64
+		bestGain := 0.0
+		for _, r := range rounds {
+			mr, err := core.MultiRound(sc.procs, n, r)
+			if err != nil {
+				return Report{}, err
+			}
+			if r == 1 {
+				oneRound = mr.Makespan
+			}
+			g := (oneRound - mr.Makespan) / oneRound
+			if g > bestGain {
+				bestGain = g
+			}
+			rows = append(rows, []string{
+				sc.name,
+				fmt.Sprintf("%d", r),
+				fmt.Sprintf("%.3f", mr.Makespan),
+				fmt.Sprintf("%.2f%%", 100*g),
+			})
+		}
+		gain[sc.name] = bestGain
+	}
+
+	body := trace.Table([]string{"platform", "rounds", "makespan (s)", "gain vs 1 round"}, rows) +
+		"\nOn the paper's grid one installment is already within a hair of\n" +
+		"the multi-round optimum — the stair is tiny because the links are\n" +
+		"fast relative to the computation. Blow the communication up 200x\n" +
+		"and installments recover real time, which is when the divisible-\n" +
+		"load multi-installment machinery becomes worth its extra messages.\n"
+
+	return Report{
+		ID:    "multiround",
+		Title: "multi-installment scatter (divisible-load extension of Section 6)",
+		Body:  body,
+		Comparisons: []Comparison{
+			{Metric: "best multi-round gain, table-1 grid", Paper: 0, Measured: gain["table-1 grid"], Unit: "",
+				Note: "single scatter is near-optimal on the paper's platform"},
+			{Metric: "best multi-round gain, comm-bound", Paper: 0, Measured: gain["comm-bound (alpha x200)"], Unit: "",
+				Note: "installments shrink the stair when links are slow"},
+		},
+	}, nil
+}

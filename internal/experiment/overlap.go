@@ -1,0 +1,88 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/trace"
+)
+
+func init() {
+	register("overlap", RootOverlap)
+}
+
+// RootOverlap measures what the paper's structural restriction costs:
+// its framework keeps the original program's shape, so the root only
+// computes after all its sends, while the master/worker literature it
+// cites allows the master to overlap computation with communication.
+// We compare the two closed forms on the Table 1 grid and on a
+// communication-bound variant (links 100x slower), where the overlap
+// should matter much more.
+func RootOverlap() (Report, error) {
+	procs, err := platform.Table1().ProcessorsOrdered(platform.OrderDescendingBandwidth)
+	if err != nil {
+		return Report{}, err
+	}
+	lps, err := core.ExtractLinear(procs)
+	if err != nil {
+		return Report{}, err
+	}
+	n := platform.Table1Rays
+
+	slow := make([]core.LinearProcessor, len(lps))
+	copy(slow, lps)
+	for i := range slow {
+		slow[i].Alpha *= 100
+	}
+
+	var rows [][]string
+	gains := map[string]float64{}
+	for _, sc := range []struct {
+		name string
+		lps  []core.LinearProcessor
+	}{
+		{"table-1 grid (compute-bound)", lps},
+		{"links 100x slower (comm-bound)", slow},
+	} {
+		plain, err := core.SolveLinearRational(sc.lps, n)
+		if err != nil {
+			return Report{}, err
+		}
+		over, err := core.SolveLinearRootOverlap(sc.lps, n)
+		if err != nil {
+			return Report{}, err
+		}
+		gain := 0.0
+		if plain.Makespan > 0 {
+			gain = (plain.Makespan - over.Makespan) / plain.Makespan
+		}
+		gains[sc.name] = gain
+		rows = append(rows, []string{
+			sc.name,
+			fmt.Sprintf("%.2f", plain.Makespan),
+			fmt.Sprintf("%.2f", over.Makespan),
+			fmt.Sprintf("%.3f%%", 100*gain),
+		})
+	}
+
+	body := trace.Table([]string{"platform", "no overlap (s)", "root overlap (s)", "gain"}, rows) +
+		"\nOn the paper's grid the scatter is a sliver of the runtime (alpha\n" +
+		"~1e-5 s/ray vs beta ~1e-2 s/ray), so keeping the original program\n" +
+		"structure costs almost nothing — the quantitative justification\n" +
+		"for the paper's low-intrusiveness choice. On a comm-bound grid the\n" +
+		"relaxation wins real time, which is why the master/worker line of\n" +
+		"work (Section 6) models the overlap.\n"
+
+	return Report{
+		ID:    "overlap",
+		Title: "cost of forbidding root communication/computation overlap (Section 6 ablation)",
+		Body:  body,
+		Comparisons: []Comparison{
+			{Metric: "overlap gain, table-1 grid", Paper: 0, Measured: gains["table-1 grid (compute-bound)"], Unit: "",
+				Note: "paper keeps the original structure; gain should be tiny"},
+			{Metric: "overlap gain, comm-bound grid", Paper: 0, Measured: gains["links 100x slower (comm-bound)"], Unit: "",
+				Note: "where the restriction would start to hurt"},
+		},
+	}, nil
+}

@@ -1,0 +1,164 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/mpi"
+	"repro/internal/platform"
+	"repro/internal/trace"
+)
+
+func init() {
+	register("tree", FlatVsBinomial)
+}
+
+// collectiveMakespan runs one collective on the world and returns the
+// virtual makespan.
+func collectiveMakespan(procs []core.Processor, run func(c *mpi.Comm) error) (float64, error) {
+	world, err := mpi.NewWorld(procs, len(procs)-1)
+	if err != nil {
+		return 0, err
+	}
+	stats, err := mpi.Run(world, run)
+	if err != nil {
+		return 0, err
+	}
+	return mpi.Makespan(stats), nil
+}
+
+// FlatVsBinomial quantifies the introduction's discussion of
+// collective-communication trees: MPICH's binomial tree wins log2(p)
+// rounds on homogeneous clusters, but on a wide-area star topology a
+// relay between two non-root nodes crosses the slow links twice, so
+// MPICH-G2 "is able to switch to a flat tree broadcast when network
+// latency is high". We time both trees for Bcast and Scatterv on (a) a
+// homogeneous cluster and (b) the paper's two-site Table 1 grid.
+func FlatVsBinomial() (Report, error) {
+	const items = 100000
+
+	homogeneous := make([]core.Processor, 16)
+	for i := range homogeneous {
+		homogeneous[i] = core.Processor{
+			Name: fmt.Sprintf("node%02d", i),
+			Comm: cost.Linear{PerItem: 2e-5},
+			Comp: cost.Linear{PerItem: 0.01},
+		}
+	}
+	homogeneous[15].Comm = cost.Zero
+
+	table1, err := platform.Table1().ProcessorsOrdered(platform.OrderDescendingBandwidth)
+	if err != nil {
+		return Report{}, err
+	}
+	balanced, err := core.Heuristic(table1, items)
+	if err != nil {
+		return Report{}, err
+	}
+	uniformCounts := core.Uniform(16, items)
+
+	type cell struct {
+		name  string
+		procs []core.Processor
+		run   func(binomial bool) func(c *mpi.Comm) error
+	}
+	bcastProg := func(procs []core.Processor) func(bool) func(c *mpi.Comm) error {
+		return func(binomial bool) func(c *mpi.Comm) error {
+			return func(c *mpi.Comm) error {
+				var in []int32
+				if c.IsRoot() {
+					in = make([]int32, items)
+				}
+				var err error
+				if binomial {
+					_, err = mpi.BcastBinomial(c, in)
+				} else {
+					_, err = mpi.Bcast(c, in)
+				}
+				return err
+			}
+		}
+	}
+	scatterProg := func(counts core.Distribution) func(bool) func(c *mpi.Comm) error {
+		return func(binomial bool) func(c *mpi.Comm) error {
+			return func(c *mpi.Comm) error {
+				var in []int32
+				if c.IsRoot() {
+					in = make([]int32, items)
+				}
+				var err error
+				if binomial {
+					_, err = mpi.ScattervBinomial(c, in, []int(counts))
+				} else {
+					_, err = mpi.Scatterv(c, in, []int(counts))
+				}
+				return err
+			}
+		}
+	}
+
+	cells := []cell{
+		{"bcast / homogeneous cluster", homogeneous, bcastProg(homogeneous)},
+		{"bcast / table-1 grid", table1, bcastProg(table1)},
+		{"scatterv(uniform) / homogeneous", homogeneous, scatterProg(uniformCounts)},
+		{"scatterv(balanced) / table-1 grid", table1, scatterProg(balanced.Distribution)},
+	}
+
+	var rows [][]string
+	var homoBcastRatio, gridBcastRatio float64
+	var homoScatterRatio, gridScatterRatio float64
+	for _, cl := range cells {
+		flat, err := collectiveMakespan(cl.procs, cl.run(false))
+		if err != nil {
+			return Report{}, err
+		}
+		binom, err := collectiveMakespan(cl.procs, cl.run(true))
+		if err != nil {
+			return Report{}, err
+		}
+		ratio := binom / flat
+		rows = append(rows, []string{
+			cl.name,
+			fmt.Sprintf("%.3f", flat),
+			fmt.Sprintf("%.3f", binom),
+			fmt.Sprintf("%.2f", ratio),
+		})
+		switch cl.name {
+		case "bcast / homogeneous cluster":
+			homoBcastRatio = ratio
+		case "bcast / table-1 grid":
+			gridBcastRatio = ratio
+		case "scatterv(uniform) / homogeneous":
+			homoScatterRatio = ratio
+		case "scatterv(balanced) / table-1 grid":
+			gridScatterRatio = ratio
+		}
+	}
+
+	body := trace.Table([]string{"collective / platform", "flat tree (s)", "binomial tree (s)", "binomial/flat"}, rows) +
+		"\nFor broadcast — the full payload on every edge — the binomial tree\n" +
+		"wins everywhere: log2(p) rounds beat the root's p-1 serial sends.\n" +
+		"For scatter the picture flips: a binomial scatter moves aggregated\n" +
+		"sub-tree blocks over relay links that pay both star legs, so the\n" +
+		"flat rank-order scatter — exactly the structure the paper's\n" +
+		"load-balancing model assumes — wins, and wins bigger on the\n" +
+		"two-site grid. This is the topology sensitivity behind MPICH-G2's\n" +
+		"tree switching that the introduction discusses.\n"
+
+	return Report{
+		ID:    "tree",
+		Title: "flat vs binomial collective trees (Section 1 discussion)",
+		Body:  body,
+		Comparisons: []Comparison{
+			{Metric: "binomial/flat bcast, homogeneous", Paper: 0, Measured: homoBcastRatio, Unit: "x",
+				Note: "MPICH default wins broadcasts (<1)"},
+			{Metric: "binomial/flat bcast, table-1 grid", Paper: 0, Measured: gridBcastRatio, Unit: "x",
+				Note: "still <1: payload replication dominates"},
+			{Metric: "binomial/flat scatterv, homogeneous", Paper: 0, Measured: homoScatterRatio, Unit: "x",
+				Note: "flat wins scatters (>1): no payload replication to amortize relays"},
+			{Metric: "binomial/flat scatterv, table-1 grid", Paper: 0, Measured: gridScatterRatio, Unit: "x",
+				Note: "worse than homogeneous: relays double-pay the star legs"},
+		},
+	}, nil
+}

@@ -1,0 +1,335 @@
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// This file provides a float64 companion to the exact rational solver:
+// the same two-phase dense simplex, with epsilon tolerances instead of
+// exact arithmetic. The guaranteed heuristic keeps using the exact
+// solver (its guarantee is stated on the exact relaxation optimum);
+// larger models like the multi-installment LP — where big.Rat numerators
+// grow without bound during pivoting — use this one. The float solver
+// is cross-validated against the exact solver in the tests.
+
+// FloatConstraint is a Constraint over float64 coefficients.
+type FloatConstraint struct {
+	// Coeffs are the per-variable coefficients (missing entries are
+	// zero).
+	Coeffs []float64
+	// Rel is the constraint sense.
+	Rel Relation
+	// RHS is the right-hand side.
+	RHS float64
+}
+
+// FloatProblem is a Problem over float64:
+//
+//	minimize sum_j Objective[j]*x_j  s.t.  Constraints, x >= 0.
+type FloatProblem struct {
+	// NumVars is the number of structural variables.
+	NumVars int
+	// Objective holds the cost coefficients.
+	Objective []float64
+	// Constraints are the linear constraints.
+	Constraints []FloatConstraint
+}
+
+// FloatSolution is the result of SolveFloat.
+type FloatSolution struct {
+	// Status reports whether X and Objective are meaningful.
+	Status Status
+	// X is the (approximately) optimal assignment.
+	X []float64
+	// Objective is the objective value at X.
+	Objective float64
+	// Pivots counts simplex pivots across both phases.
+	Pivots int
+}
+
+const floatEps = 1e-9
+
+// SolveFloat runs the two-phase simplex in float64. Degeneracy is
+// handled with Bland's rule; feasibility is declared when the phase-1
+// objective is within a scale-relative tolerance of zero.
+func SolveFloat(p *FloatProblem) (*FloatSolution, error) {
+	if p.NumVars <= 0 {
+		return nil, errors.New("lp: problem has no variables")
+	}
+	if len(p.Objective) > p.NumVars {
+		return nil, fmt.Errorf("lp: objective has %d coefficients for %d variables", len(p.Objective), p.NumVars)
+	}
+	for i, c := range p.Constraints {
+		if len(c.Coeffs) > p.NumVars {
+			return nil, fmt.Errorf("lp: constraint %d has %d coefficients for %d variables", i, len(c.Coeffs), p.NumVars)
+		}
+		if math.IsNaN(c.RHS) || math.IsInf(c.RHS, 0) {
+			return nil, fmt.Errorf("lp: constraint %d has RHS %g", i, c.RHS)
+		}
+	}
+
+	t := newFloatTableau(p)
+	sol := &FloatSolution{}
+
+	if t.numArtificial > 0 {
+		t.installPhase1()
+		if err := t.iterate(&sol.Pivots); err != nil {
+			return nil, err
+		}
+		scale := 1.0
+		for _, b := range t.b {
+			if math.Abs(b) > scale {
+				scale = math.Abs(b)
+			}
+		}
+		if -t.objC > floatEps*scale*float64(len(t.b)+1) {
+			sol.Status = Infeasible
+			return sol, nil
+		}
+		t.driveOutArtificials(&sol.Pivots)
+	}
+
+	t.installPhase2(p)
+	if err := t.iterate(&sol.Pivots); err != nil {
+		if errors.Is(err, errUnbounded) {
+			sol.Status = Unbounded
+			return sol, nil
+		}
+		return nil, err
+	}
+
+	sol.Status = Optimal
+	sol.X = t.extract(p.NumVars)
+	for j := 0; j < len(p.Objective); j++ {
+		sol.Objective += p.Objective[j] * sol.X[j]
+	}
+	return sol, nil
+}
+
+type floatTableau struct {
+	rows          int
+	cols          int
+	numArtificial int
+	a             []float64
+	b             []float64
+	obj           []float64
+	objC          float64
+	basis         []int
+	artificialLo  int
+	banArtificial bool
+}
+
+func (t *floatTableau) at(i, j int) float64     { return t.a[i*t.cols+j] }
+func (t *floatTableau) set(i, j int, v float64) { t.a[i*t.cols+j] = v }
+
+func newFloatTableau(p *FloatProblem) *floatTableau {
+	rows := len(p.Constraints)
+	slack, artificial := 0, 0
+	for _, c := range p.Constraints {
+		rel := c.Rel
+		if c.RHS < 0 {
+			rel = flip(rel)
+		}
+		switch rel {
+		case LE:
+			slack++
+		case GE:
+			slack++
+			artificial++
+		case EQ:
+			artificial++
+		}
+	}
+	cols := p.NumVars + slack + artificial
+	t := &floatTableau{
+		rows:          rows,
+		cols:          cols,
+		numArtificial: artificial,
+		a:             make([]float64, rows*cols),
+		b:             make([]float64, rows),
+		obj:           make([]float64, cols),
+		basis:         make([]int, rows),
+		artificialLo:  cols - artificial,
+	}
+	slackCol := p.NumVars
+	artCol := t.artificialLo
+	for i, c := range p.Constraints {
+		sign := 1.0
+		rel := c.Rel
+		if c.RHS < 0 {
+			sign = -1
+			rel = flip(rel)
+		}
+		for j, coef := range c.Coeffs {
+			t.set(i, j, coef*sign)
+		}
+		t.b[i] = c.RHS * sign
+		switch rel {
+		case LE:
+			t.set(i, slackCol, 1)
+			t.basis[i] = slackCol
+			slackCol++
+		case GE:
+			t.set(i, slackCol, -1)
+			slackCol++
+			t.set(i, artCol, 1)
+			t.basis[i] = artCol
+			artCol++
+		case EQ:
+			t.set(i, artCol, 1)
+			t.basis[i] = artCol
+			artCol++
+		}
+	}
+	return t
+}
+
+func (t *floatTableau) installPhase1() {
+	for j := range t.obj {
+		t.obj[j] = 0
+	}
+	t.objC = 0
+	for j := t.artificialLo; j < t.cols; j++ {
+		t.obj[j] = 1
+	}
+	t.canonicalize()
+}
+
+func (t *floatTableau) installPhase2(p *FloatProblem) {
+	t.banArtificial = true
+	for j := range t.obj {
+		t.obj[j] = 0
+	}
+	t.objC = 0
+	copy(t.obj, p.Objective)
+	t.canonicalize()
+}
+
+func (t *floatTableau) canonicalize() {
+	for i, bv := range t.basis {
+		coef := t.obj[bv]
+		if coef == 0 {
+			continue
+		}
+		for j := 0; j < t.cols; j++ {
+			t.obj[j] -= coef * t.at(i, j)
+		}
+		t.objC -= coef * t.b[i]
+	}
+}
+
+func (t *floatTableau) iterate(pivots *int) error {
+	// Dantzig pricing with a Bland fallback after a pivot budget, to
+	// escape potential cycling without giving up speed.
+	blandAfter := 50 * (t.rows + t.cols)
+	for iter := 0; ; iter++ {
+		enter := -1
+		limit := t.cols
+		if t.banArtificial {
+			limit = t.artificialLo
+		}
+		if iter < blandAfter {
+			best := -floatEps
+			for j := 0; j < limit; j++ {
+				if t.obj[j] < best {
+					best = t.obj[j]
+					enter = j
+				}
+			}
+		} else {
+			for j := 0; j < limit; j++ {
+				if t.obj[j] < -floatEps {
+					enter = j
+					break
+				}
+			}
+		}
+		if enter < 0 {
+			return nil
+		}
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < t.rows; i++ {
+			aie := t.at(i, enter)
+			if aie <= floatEps {
+				continue
+			}
+			ratio := t.b[i] / aie
+			if ratio < bestRatio-floatEps ||
+				(ratio < bestRatio+floatEps && (leave < 0 || t.basis[i] < t.basis[leave])) {
+				leave = i
+				if ratio < bestRatio {
+					bestRatio = ratio
+				}
+			}
+		}
+		if leave < 0 {
+			return errUnbounded
+		}
+		t.pivot(leave, enter)
+		*pivots++
+	}
+}
+
+func (t *floatTableau) pivot(leave, enter int) {
+	p := t.at(leave, enter)
+	inv := 1 / p
+	for j := 0; j < t.cols; j++ {
+		t.set(leave, j, t.at(leave, j)*inv)
+	}
+	t.b[leave] *= inv
+	for i := 0; i < t.rows; i++ {
+		if i == leave {
+			continue
+		}
+		f := t.at(i, enter)
+		if f == 0 {
+			continue
+		}
+		for j := 0; j < t.cols; j++ {
+			t.set(i, j, t.at(i, j)-f*t.at(leave, j))
+		}
+		t.b[i] -= f * t.b[leave]
+		if t.b[i] < 0 && t.b[i] > -floatEps {
+			t.b[i] = 0 // clean tiny negative residue
+		}
+	}
+	if f := t.obj[enter]; f != 0 {
+		for j := 0; j < t.cols; j++ {
+			t.obj[j] -= f * t.at(leave, j)
+		}
+		t.objC -= f * t.b[leave]
+	}
+	t.basis[leave] = enter
+}
+
+func (t *floatTableau) driveOutArtificials(pivots *int) {
+	for i := 0; i < t.rows; i++ {
+		if t.basis[i] < t.artificialLo {
+			continue
+		}
+		for j := 0; j < t.artificialLo; j++ {
+			if math.Abs(t.at(i, j)) > floatEps {
+				t.pivot(i, j)
+				*pivots++
+				break
+			}
+		}
+	}
+}
+
+func (t *floatTableau) extract(n int) []float64 {
+	x := make([]float64, n)
+	for i, bv := range t.basis {
+		if bv < n {
+			v := t.b[i]
+			if v < 0 {
+				v = 0 // numerical residue
+			}
+			x[bv] = v
+		}
+	}
+	return x
+}

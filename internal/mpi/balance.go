@@ -1,0 +1,76 @@
+package mpi
+
+import (
+	"repro/internal/core"
+	"repro/internal/cost"
+)
+
+// BalancedCounts computes a load-balanced MPI_Scatterv
+// parameterization for n items from the world's cost model: the counts
+// a transformed program passes to Scatterv in place of the uniform
+// MPI_Scatter share. It is the runtime half of the paper's proposed
+// source transformation (Section 1: the replacement "can easily be
+// automated in a software tool"; see internal/transform for the tool).
+//
+// The solver is chosen from the cost-function classes exactly like the
+// public scatter.Balance facade — closed form for linear, guaranteed
+// heuristic for affine, exact DP otherwise. If every solver fails
+// (which cannot happen for the cost models in this repository), the
+// uniform distribution is returned so the transformed program always
+// runs.
+func BalancedCounts(c *Comm, n int) []int {
+	w := c.world
+	p := w.Size()
+	if n < 0 {
+		n = 0
+	}
+
+	// The solvers expect service order: ranks in order with the root
+	// last (the root's share ships for free after the real sends, as
+	// in Eq. (1)).
+	order := make([]int, 0, p)
+	for r := 0; r < p; r++ {
+		if r != w.rootRank {
+			order = append(order, r)
+		}
+	}
+	order = append(order, w.rootRank)
+	procs := make([]core.Processor, p)
+	for pos, r := range order {
+		procs[pos] = w.procs[r]
+	}
+	procs[p-1].Comm = cost.Zero // the root costs nothing to serve
+
+	res, err := solveByClass(procs, n)
+	if err != nil {
+		uniform := core.Uniform(p, n)
+		return uniform
+	}
+	counts := make([]int, p)
+	for pos, r := range order {
+		counts[r] = res.Distribution[pos]
+	}
+	return counts
+}
+
+// solveByClass mirrors the public facade's solver selection.
+func solveByClass(procs []core.Processor, n int) (core.Result, error) {
+	class := cost.LinearClass
+	for _, p := range procs {
+		for _, f := range []cost.Function{p.Comm, p.Comp} {
+			if c := cost.ClassOf(f); c < class {
+				class = c
+			}
+		}
+	}
+	switch class {
+	case cost.LinearClass:
+		return core.SolveLinear(procs, n)
+	case cost.AffineClass:
+		return core.Heuristic(procs, n)
+	case cost.Increasing:
+		return core.Algorithm2(procs, n)
+	default:
+		return core.Algorithm1(procs, n)
+	}
+}

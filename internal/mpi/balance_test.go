@@ -1,0 +1,163 @@
+package mpi
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+)
+
+func TestBalancedCountsSumAndShape(t *testing.T) {
+	w := world4(t) // alphas 1,2,3 + root; betas 2,1,3,2
+	var counts []int
+	_, err := Run(w, func(c *Comm) error {
+		got := BalancedCounts(c, 100)
+		if c.IsRoot() {
+			counts = got
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for r, n := range counts {
+		if n < 0 {
+			t.Fatalf("rank %d count %d negative", r, n)
+		}
+		total += n
+	}
+	if total != 100 {
+		t.Fatalf("counts sum to %d, want 100", total)
+	}
+	// The distribution must beat uniform when executed.
+	procs := []core.Processor{w.procs[0], w.procs[1], w.procs[2], w.procs[3]}
+	balanced := core.Makespan(procs, core.Distribution(counts))
+	uniform := core.Makespan(procs, core.Uniform(4, 100))
+	if balanced >= uniform {
+		t.Errorf("BalancedCounts makespan %g not better than uniform %g", balanced, uniform)
+	}
+}
+
+func TestBalancedCountsNonLastRoot(t *testing.T) {
+	procs := []core.Processor{
+		{Name: "w1", Comm: cost.Linear{PerItem: 0.1}, Comp: cost.Linear{PerItem: 2}},
+		{Name: "root", Comm: cost.Zero, Comp: cost.Linear{PerItem: 1}},
+		{Name: "w2", Comm: cost.Linear{PerItem: 0.1}, Comp: cost.Linear{PerItem: 0.5}},
+	}
+	w, err := NewWorld(procs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var counts []int
+	_, err = Run(w, func(c *Comm) error {
+		if c.IsRoot() {
+			counts = BalancedCounts(c, 90)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != 90 {
+		t.Fatalf("counts sum to %d, want 90", total)
+	}
+	// Executing the counts must beat the uniform program (the
+	// workers are heterogeneous, so uniform is strictly suboptimal).
+	exec := func(counts []int) float64 {
+		w, err := NewWorld(procs, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := Run(w, func(c *Comm) error {
+			var in []byte
+			if c.IsRoot() {
+				in = make([]byte, 90)
+			}
+			buf, err := Scatterv(c, in, counts)
+			if err != nil {
+				return err
+			}
+			c.ChargeItems(len(buf))
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Makespan(stats)
+	}
+	if bal, uni := exec(counts), exec([]int{30, 30, 30}); bal >= uni {
+		t.Errorf("balanced counts (%g) not better than uniform (%g)", bal, uni)
+	}
+}
+
+func TestBalancedCountsZeroItems(t *testing.T) {
+	w := world4(t)
+	_, err := Run(w, func(c *Comm) error {
+		counts := BalancedCounts(c, 0)
+		for r, n := range counts {
+			if n != 0 {
+				t.Errorf("rank %d count %d for zero items", r, n)
+			}
+		}
+		// Negative n clamps to zero rather than failing the program.
+		counts = BalancedCounts(c, -5)
+		for _, n := range counts {
+			if n != 0 {
+				t.Errorf("negative n produced count %d", n)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBalancedCountsEndToEnd executes the exact transformed expression
+// the internal/transform tool emits.
+func TestBalancedCountsEndToEnd(t *testing.T) {
+	w := world4(t)
+	data := make([]int, 100)
+	stats, err := Run(w, func(c *Comm) error {
+		var in []int
+		if c.IsRoot() {
+			in = data
+		}
+		// The tool rewrites mpi.Scatter(c, in, 25) to:
+		buf, err := Scatterv(c, in, BalancedCounts(c, (25)*c.Size()))
+		if err != nil {
+			return err
+		}
+		c.ChargeItems(len(buf))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare with the uniform program.
+	w2 := world4(t)
+	uniStats, err := Run(w2, func(c *Comm) error {
+		var in []int
+		if c.IsRoot() {
+			in = data
+		}
+		buf, err := Scatter(c, in, 25)
+		if err != nil {
+			return err
+		}
+		c.ChargeItems(len(buf))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Makespan(stats) >= Makespan(uniStats) {
+		t.Errorf("transformed program (%g) not faster than the original (%g)",
+			Makespan(stats), Makespan(uniStats))
+	}
+}

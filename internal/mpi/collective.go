@@ -1,0 +1,358 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// collective is the shared state of one collective operation instance.
+// All ranks calling the same (per-rank ordered) collective meet here;
+// the last arriver computes the outcome for everyone.
+type collective struct {
+	mu      sync.Mutex
+	arrived int
+	clocks  []float64
+	inputs  []any
+	done    chan struct{}
+
+	commStarts []float64
+	outClocks  []float64
+	outputs    []any
+	err        error
+}
+
+// collectiveOp computes the result of a collective once every rank has
+// arrived: given per-rank clocks and inputs it returns, per rank, the
+// time communication starts (idle before), the completion time, and the
+// output value.
+type collectiveOp func(w *World, clocks []float64, inputs []any) (commStarts, outClocks []float64, outputs []any, err error)
+
+// rendezvous joins collective number seq, blocks until all ranks have
+// arrived, and applies the op's outcome to this rank's clock and stats.
+func (c *Comm) rendezvous(input any, op collectiveOp) (any, error) {
+	seq := c.nextCollective
+	c.nextCollective++
+	w := c.world
+	p := w.Size()
+
+	w.mu.Lock()
+	st, ok := w.collectives[seq]
+	if !ok {
+		st = &collective{
+			clocks: make([]float64, p),
+			inputs: make([]any, p),
+			done:   make(chan struct{}),
+		}
+		w.collectives[seq] = st
+	}
+	w.mu.Unlock()
+
+	st.mu.Lock()
+	st.clocks[c.rank] = c.clock
+	st.inputs[c.rank] = input
+	st.arrived++
+	last := st.arrived == p
+	st.mu.Unlock()
+
+	if last {
+		st.commStarts, st.outClocks, st.outputs, st.err = op(w, st.clocks, st.inputs)
+		// The collective is complete; free the slot so a long program
+		// does not accumulate state (sequence numbers keep advancing).
+		w.mu.Lock()
+		delete(w.collectives, seq)
+		w.mu.Unlock()
+		close(st.done)
+	} else {
+		<-st.done
+	}
+	if st.err != nil {
+		return nil, st.err
+	}
+	c.advanceTo(st.commStarts[c.rank], PhaseIdle)
+	c.advanceTo(st.outClocks[c.rank], PhaseComm)
+	return st.outputs[c.rank], nil
+}
+
+// Scatterv distributes data from the root according to counts: rank i
+// receives counts[i] items. Only the root's data and counts are
+// consulted (as in MPI, where they are "significant only at root");
+// every rank receives its slice and the timing of the paper's
+// single-port, rank-ordered model. The returned slice aliases the
+// root's buffer (no copy), mirroring zero-copy scatter of a shared
+// address space.
+func Scatterv[T any](c *Comm, data []T, counts []int) ([]T, error) {
+	type in struct {
+		data   []T
+		counts []int
+	}
+	out, err := c.rendezvous(in{data, counts}, func(w *World, clocks []float64, inputs []any) ([]float64, []float64, []any, error) {
+		p := w.Size()
+		root := w.rootRank
+		rootIn := inputs[root].(in)
+		counts := rootIn.counts
+		if len(counts) != p {
+			return nil, nil, nil, fmt.Errorf("mpi: scatterv with %d counts for %d ranks", len(counts), p)
+		}
+		total := 0
+		for i, n := range counts {
+			if n < 0 {
+				return nil, nil, nil, fmt.Errorf("mpi: scatterv count %d is negative", i)
+			}
+			total += n
+		}
+		if total > len(rootIn.data) {
+			return nil, nil, nil, fmt.Errorf("mpi: scatterv needs %d items, root has %d", total, len(rootIn.data))
+		}
+
+		// Slice the root buffer by rank.
+		chunks := make([][]T, p)
+		off := 0
+		for i, n := range counts {
+			chunks[i] = rootIn.data[off : off+n]
+			off += n
+		}
+
+		commStarts := make([]float64, p)
+		outClocks := make([]float64, p)
+		outputs := make([]any, p)
+
+		// Single-port root, destinations served in rank order.
+		t := clocks[root]
+		commStarts[root] = clocks[root]
+		for r := 0; r < p; r++ {
+			if r == root {
+				continue
+			}
+			d := w.transferTime(root, r, counts[r])
+			arrive := t + d
+			t = arrive
+			// The receiver idles until its data starts flowing, then
+			// receives until the stream completes. A receiver that
+			// shows up after the eager transfer already landed gets
+			// the buffered data immediately.
+			start := arrive - d
+			if clocks[r] > start {
+				start = clocks[r]
+			}
+			end := arrive
+			if clocks[r] > end {
+				end = clocks[r]
+			}
+			commStarts[r] = start
+			outClocks[r] = end
+			outputs[r] = chunks[r]
+		}
+		// The root's port is busy until the last send completes; only
+		// then does it turn to its own share (which costs nothing to
+		// "ship").
+		outClocks[root] = t
+		outputs[root] = chunks[root]
+		return commStarts, outClocks, outputs, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	chunk := out.([]T)
+	c.stats.ItemsReceived += len(chunk)
+	return chunk, nil
+}
+
+// Scatter distributes equal shares of count items to every rank, the
+// MPI_Scatter of the original application. The root must hold at least
+// count*Size() items.
+func Scatter[T any](c *Comm, data []T, count int) ([]T, error) {
+	if count < 0 {
+		return nil, fmt.Errorf("mpi: scatter count %d is negative", count)
+	}
+	counts := make([]int, c.Size())
+	for i := range counts {
+		counts[i] = count
+	}
+	return Scatterv(c, data, counts)
+}
+
+// Gatherv collects every rank's contribution at the root, concatenated
+// in rank order. The root's inbound port is single-port and serves
+// ranks in order; a sender completes when the root has drained its
+// data (rendezvous semantics). Non-root ranks receive nil.
+func Gatherv[T any](c *Comm, contrib []T) ([]T, error) {
+	out, err := c.rendezvous(contrib, func(w *World, clocks []float64, inputs []any) ([]float64, []float64, []any, error) {
+		p := w.Size()
+		root := w.rootRank
+		commStarts := make([]float64, p)
+		outClocks := make([]float64, p)
+		outputs := make([]any, p)
+
+		var gathered []T
+		t := clocks[root]
+		commStarts[root] = clocks[root]
+		for r := 0; r < p; r++ {
+			data := inputs[r].([]T)
+			if r == root {
+				continue
+			}
+			d := w.transferTime(r, root, len(data))
+			start := t
+			if clocks[r] > start {
+				start = clocks[r]
+			}
+			end := start + d
+			t = end
+			commStarts[r] = start
+			outClocks[r] = end
+		}
+		// Concatenate in rank order regardless of arrival order.
+		for r := 0; r < p; r++ {
+			gathered = append(gathered, inputs[r].([]T)...)
+		}
+		outClocks[root] = t
+		outputs[root] = gathered
+		return commStarts, outClocks, outputs, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if out == nil {
+		return nil, nil
+	}
+	return out.([]T), nil
+}
+
+// Bcast sends the root's data to every rank, serialized in rank order
+// over the root's single port (the "flat tree" the paper mentions
+// MPICH-G2 switching to under high latency). The returned slice
+// aliases the root's buffer.
+func Bcast[T any](c *Comm, data []T) ([]T, error) {
+	out, err := c.rendezvous(data, func(w *World, clocks []float64, inputs []any) ([]float64, []float64, []any, error) {
+		p := w.Size()
+		root := w.rootRank
+		payload := inputs[root].([]T)
+		n := len(payload)
+		commStarts := make([]float64, p)
+		outClocks := make([]float64, p)
+		outputs := make([]any, p)
+
+		t := clocks[root]
+		commStarts[root] = clocks[root]
+		for r := 0; r < p; r++ {
+			if r == root {
+				continue
+			}
+			d := w.transferTime(root, r, n)
+			arrive := t + d
+			t = arrive
+			start := arrive - d
+			if clocks[r] > start {
+				start = clocks[r]
+			}
+			end := arrive
+			if clocks[r] > end {
+				end = clocks[r]
+			}
+			commStarts[r] = start
+			outClocks[r] = end
+			outputs[r] = payload
+		}
+		outClocks[root] = t
+		outputs[root] = payload
+		return commStarts, outClocks, outputs, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out.([]T), nil
+}
+
+// Barrier synchronizes all ranks: everyone resumes at the latest clock.
+func Barrier(c *Comm) error {
+	_, err := c.rendezvous(nil, func(w *World, clocks []float64, inputs []any) ([]float64, []float64, []any, error) {
+		p := w.Size()
+		max := 0.0
+		for _, t := range clocks {
+			if t > max {
+				max = t
+			}
+		}
+		commStarts := make([]float64, p)
+		outClocks := make([]float64, p)
+		for i := range outClocks {
+			commStarts[i] = max // all waiting is idle time
+			outClocks[i] = max
+		}
+		return commStarts, outClocks, make([]any, p), nil
+	})
+	return err
+}
+
+// ReduceOp folds two float64 values.
+type ReduceOp func(a, b float64) float64
+
+// Sum, Min and Max are the usual reduction operators.
+var (
+	Sum ReduceOp = func(a, b float64) float64 { return a + b }
+	Min ReduceOp = func(a, b float64) float64 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+	Max ReduceOp = func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+)
+
+// Reduce folds every rank's value at the root with op, using
+// gather-like timing for one item per rank. Non-root ranks receive 0.
+func Reduce(c *Comm, value float64, op ReduceOp) (float64, error) {
+	out, err := c.rendezvous(value, func(w *World, clocks []float64, inputs []any) ([]float64, []float64, []any, error) {
+		p := w.Size()
+		root := w.rootRank
+		commStarts := make([]float64, p)
+		outClocks := make([]float64, p)
+		outputs := make([]any, p)
+
+		acc := inputs[root].(float64)
+		t := clocks[root]
+		commStarts[root] = clocks[root]
+		for r := 0; r < p; r++ {
+			if r == root {
+				continue
+			}
+			d := w.transferTime(r, root, 1)
+			start := t
+			if clocks[r] > start {
+				start = clocks[r]
+			}
+			end := start + d
+			t = end
+			commStarts[r] = start
+			outClocks[r] = end
+			acc = op(acc, inputs[r].(float64))
+			outputs[r] = 0.0
+		}
+		outClocks[root] = t
+		outputs[root] = acc
+		return commStarts, outClocks, outputs, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return out.(float64), nil
+}
+
+// Allreduce folds every rank's value and delivers the result to all
+// ranks (a Reduce followed by a single-value Bcast).
+func Allreduce(c *Comm, value float64, op ReduceOp) (float64, error) {
+	reduced, err := Reduce(c, value, op)
+	if err != nil {
+		return 0, err
+	}
+	vals, err := Bcast(c, []float64{reduced})
+	if err != nil {
+		return 0, err
+	}
+	return vals[0], nil
+}

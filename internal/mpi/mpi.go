@@ -1,0 +1,318 @@
+// Package mpi is an in-process, virtual-time message-passing runtime
+// modeled on the MPI subset the paper's application uses: SPMD ranks,
+// MPI_Scatter / MPI_Scatterv, gather, broadcast, barrier and reduce.
+//
+// Ranks run as goroutines, each with its own virtual clock. Collective
+// timing follows the paper's Section 2.3 hardware model:
+//
+//   - the root is single-port: it sends to one destination at a time;
+//   - destinations are served in rank order, exactly as the MPICH
+//     implementation the paper relies on ("the order of the destination
+//     processors in scatter operations follows the processors ranks");
+//   - the time to ship x items from the root to rank i is the
+//     processor's Tcomm(i, x) cost function;
+//   - computation is charged explicitly via Comm.ChargeItems (using the
+//     processor's Tcomp) or Comm.Charge (raw seconds), so a program can
+//     either model its computation or really perform it and self-time.
+//
+// This substrate replaces the paper's Globus + MPICH-G2 testbed: the
+// same program text (read data, scatter, compute) runs against the
+// Table 1 cost model and yields the per-processor timelines plotted in
+// the paper's figures.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// World owns the shared state of one SPMD run.
+type World struct {
+	procs    []core.Processor
+	rootRank int
+
+	// transfer overrides the default star transfer model when set
+	// (SetTransferModel); parentRanks maps a sub-world's ranks back to
+	// the parent's (nil for a top-level world). See split.go.
+	transfer    TransferModel
+	parentRanks []int
+
+	mu          sync.Mutex
+	collectives map[int]*collective
+	mailboxes   map[pairTag]chan message
+}
+
+// pairTag identifies a point-to-point FIFO channel.
+type pairTag struct{ from, to int }
+
+// message is a point-to-point payload with its arrival time.
+type message struct {
+	data    any
+	arrives float64
+}
+
+// NewWorld creates a world of len(procs) ranks. Rank i is modeled by
+// procs[i]; rootRank designates the data-holding root whose sends are
+// serialized. procs[rootRank] should have a zero communication cost
+// (it talks to itself).
+func NewWorld(procs []core.Processor, rootRank int) (*World, error) {
+	if err := core.ValidateProcessors(procs); err != nil {
+		return nil, err
+	}
+	if rootRank < 0 || rootRank >= len(procs) {
+		return nil, fmt.Errorf("mpi: root rank %d out of range [0, %d)", rootRank, len(procs))
+	}
+	return &World{
+		procs:       procs,
+		rootRank:    rootRank,
+		collectives: make(map[int]*collective),
+		mailboxes:   make(map[pairTag]chan message),
+	}, nil
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.procs) }
+
+// Root returns the root rank.
+func (w *World) Root() int { return w.rootRank }
+
+// transferTime models shipping x items between two ranks, through the
+// custom TransferModel when one is installed and the star model
+// otherwise.
+func (w *World) transferTime(from, to, items int) float64 {
+	if w.transfer != nil {
+		return w.transfer(from, to, items)
+	}
+	return w.starTransfer(from, to, items)
+}
+
+// starTransfer is the default model: transfers to/from the root use
+// the destination's (resp. source's) Tcomm; a transfer between two
+// non-root ranks is routed through the star topology and pays both
+// legs. Self-transfers are free.
+func (w *World) starTransfer(from, to, items int) float64 {
+	if from == to {
+		return 0
+	}
+	if from == w.rootRank {
+		return w.procs[to].Comm.Eval(items)
+	}
+	if to == w.rootRank {
+		return w.procs[from].Comm.Eval(items)
+	}
+	return w.procs[from].Comm.Eval(items) + w.procs[to].Comm.Eval(items)
+}
+
+// Phase labels how a rank spent a span of virtual time.
+type Phase int
+
+const (
+	// PhaseIdle is time spent waiting for data or peers.
+	PhaseIdle Phase = iota
+	// PhaseComm is time spent sending or receiving.
+	PhaseComm
+	// PhaseComp is time spent computing.
+	PhaseComp
+)
+
+// String names the phase.
+func (p Phase) String() string {
+	switch p {
+	case PhaseIdle:
+		return "idle"
+	case PhaseComm:
+		return "comm"
+	case PhaseComp:
+		return "comp"
+	default:
+		return fmt.Sprintf("phase(%d)", int(p))
+	}
+}
+
+// Span is one interval of a rank's activity.
+type Span struct {
+	// Phase classifies the activity.
+	Phase Phase
+	// Start and End bound the interval in virtual seconds.
+	Start, End float64
+}
+
+// RankStats summarizes one rank's run.
+type RankStats struct {
+	// Rank is the rank number.
+	Rank int
+	// Name is the backing processor's name.
+	Name string
+	// Finish is the rank's final virtual clock.
+	Finish float64
+	// CommTime, CompTime and IdleTime total the time by phase.
+	CommTime, CompTime, IdleTime float64
+	// ItemsReceived counts data items received in scatters.
+	ItemsReceived int
+	// Spans is the rank's full activity timeline.
+	Spans []Span
+}
+
+// Comm is a rank's handle on the world — the argument every SPMD
+// program receives.
+type Comm struct {
+	world *World
+	rank  int
+	clock float64
+
+	nextCollective int
+	// stats is shared between a rank's top-level handle and any
+	// sub-communicator handles derived from it via Split, so every
+	// span is recorded exactly once.
+	stats *RankStats
+}
+
+// Rank returns this rank's number.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the world.
+func (c *Comm) Size() int { return c.world.Size() }
+
+// Root returns the world's root rank.
+func (c *Comm) Root() int { return c.world.rootRank }
+
+// IsRoot reports whether this rank is the root.
+func (c *Comm) IsRoot() bool { return c.rank == c.world.rootRank }
+
+// Clock returns the rank's current virtual time in seconds.
+func (c *Comm) Clock() float64 { return c.clock }
+
+// Processor returns the core.Processor modeling this rank.
+func (c *Comm) Processor() core.Processor { return c.world.procs[c.rank] }
+
+// advance moves the clock forward by d seconds of the given phase.
+func (c *Comm) advance(d float64, phase Phase) {
+	if d <= 0 {
+		return
+	}
+	c.stats.Spans = append(c.stats.Spans, Span{Phase: phase, Start: c.clock, End: c.clock + d})
+	switch phase {
+	case PhaseComm:
+		c.stats.CommTime += d
+	case PhaseComp:
+		c.stats.CompTime += d
+	default:
+		c.stats.IdleTime += d
+	}
+	c.clock += d
+}
+
+// advanceTo idles until absolute time t (no-op if t is in the past).
+func (c *Comm) advanceTo(t float64, phase Phase) { c.advance(t-c.clock, phase) }
+
+// Charge accounts d virtual seconds of computation.
+func (c *Comm) Charge(d float64) {
+	if d < 0 {
+		d = 0
+	}
+	c.advance(d, PhaseComp)
+}
+
+// ChargeItems accounts the computation of n data items using the
+// rank's Tcomp cost function — the virtual-time analogue of calling
+// compute_work on an n-item buffer.
+func (c *Comm) ChargeItems(n int) {
+	c.Charge(c.world.procs[c.rank].Comp.Eval(n))
+}
+
+// Stats returns a copy of the rank's statistics so far.
+func (c *Comm) Stats() RankStats {
+	s := *c.stats
+	s.Rank = c.rank
+	s.Name = c.world.procs[c.rank].Name
+	s.Finish = c.clock
+	s.Spans = append([]Span(nil), c.stats.Spans...)
+	return s
+}
+
+// mailbox returns (creating if needed) the FIFO channel for a pair.
+func (w *World) mailbox(from, to int) chan message {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	tag := pairTag{from, to}
+	mb, ok := w.mailboxes[tag]
+	if !ok {
+		mb = make(chan message, 1024)
+		w.mailboxes[tag] = mb
+	}
+	return mb
+}
+
+// Send ships a value of nitems data items to rank `to` (eager,
+// buffered: the sender's clock advances by the transfer time and does
+// not wait for the receiver).
+func (c *Comm) Send(to int, data any, nitems int) error {
+	if to < 0 || to >= c.Size() {
+		return fmt.Errorf("mpi: send to rank %d out of range", to)
+	}
+	d := c.world.transferTime(c.rank, to, nitems)
+	c.advance(d, PhaseComm)
+	c.world.mailbox(c.rank, to) <- message{data: data, arrives: c.clock}
+	return nil
+}
+
+// Recv receives the next value from rank `from`, idling until the
+// message's arrival time if it is still in flight.
+func (c *Comm) Recv(from int) (any, error) {
+	if from < 0 || from >= c.Size() {
+		return nil, fmt.Errorf("mpi: recv from rank %d out of range", from)
+	}
+	msg := <-c.world.mailbox(from, c.rank)
+	c.advanceTo(msg.arrives, PhaseIdle)
+	return msg.data, nil
+}
+
+// Program is an SPMD program body, executed once per rank.
+type Program func(c *Comm) error
+
+// Run executes the program on every rank and returns the per-rank
+// statistics (indexed by rank). It fails if any rank returns an error
+// or panics.
+func Run(w *World, program Program) ([]RankStats, error) {
+	p := w.Size()
+	stats := make([]RankStats, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for rank := 0; rank < p; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c := &Comm{world: w, rank: rank, stats: &RankStats{}}
+			defer func() {
+				if r := recover(); r != nil {
+					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, r)
+				}
+				stats[rank] = c.Stats()
+			}()
+			errs[rank] = program(c)
+		}(rank)
+	}
+	wg.Wait()
+	var firstErr error
+	for rank, err := range errs {
+		if err != nil {
+			firstErr = errors.Join(firstErr, fmt.Errorf("rank %d: %w", rank, err))
+			_ = rank
+		}
+	}
+	return stats, firstErr
+}
+
+// Makespan returns the largest finish time among the ranks.
+func Makespan(stats []RankStats) float64 {
+	max := 0.0
+	for _, s := range stats {
+		if s.Finish > max {
+			max = s.Finish
+		}
+	}
+	return max
+}

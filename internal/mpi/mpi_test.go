@@ -1,0 +1,545 @@
+package mpi
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/schedule"
+)
+
+// world4 builds a 4-rank world with rank 3 as root (free link).
+func world4(t *testing.T) *World {
+	t.Helper()
+	procs := []core.Processor{
+		{Name: "P1", Comm: cost.Linear{PerItem: 1}, Comp: cost.Linear{PerItem: 2}},
+		{Name: "P2", Comm: cost.Linear{PerItem: 2}, Comp: cost.Linear{PerItem: 1}},
+		{Name: "P3", Comm: cost.Linear{PerItem: 3}, Comp: cost.Linear{PerItem: 3}},
+		{Name: "root", Comm: cost.Zero, Comp: cost.Linear{PerItem: 2}},
+	}
+	w, err := NewWorld(procs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestNewWorldValidation(t *testing.T) {
+	if _, err := NewWorld(nil, 0); err == nil {
+		t.Error("empty world accepted")
+	}
+	procs := []core.Processor{{Name: "x", Comm: cost.Zero, Comp: cost.Zero}}
+	if _, err := NewWorld(procs, 5); err == nil {
+		t.Error("out-of-range root accepted")
+	}
+	if _, err := NewWorld(procs, -1); err == nil {
+		t.Error("negative root accepted")
+	}
+}
+
+func TestScattervTimingMatchesSchedule(t *testing.T) {
+	// The paper's program: scatter then compute. Rank clocks must
+	// reproduce the analytic Eq. (1) timeline exactly.
+	w := world4(t)
+	dist := core.Distribution{2, 2, 2, 2}
+	data := make([]int, 8)
+	for i := range data {
+		data[i] = i
+	}
+	stats, err := Run(w, func(c *Comm) error {
+		var buf []int
+		var err error
+		if c.IsRoot() {
+			buf, err = Scatterv(c, data, []int(dist))
+		} else {
+			buf, err = Scatterv[int](c, nil, nil)
+		}
+		if err != nil {
+			return err
+		}
+		c.ChargeItems(len(buf))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Analytic reference: note rank order 0..3 with root last matches
+	// the processor order.
+	procs := []core.Processor{w.procs[0], w.procs[1], w.procs[2], w.procs[3]}
+	want, err := schedule.Build(procs, dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, s := range stats {
+		if math.Abs(s.Finish-want.Procs[r].Finish()) > 1e-9 {
+			t.Errorf("rank %d finish = %g, want %g", r, s.Finish, want.Procs[r].Finish())
+		}
+	}
+	if math.Abs(Makespan(stats)-want.Makespan) > 1e-9 {
+		t.Errorf("makespan = %g, want %g", Makespan(stats), want.Makespan)
+	}
+}
+
+func TestScattervDeliversCorrectChunks(t *testing.T) {
+	w := world4(t)
+	data := []int{10, 11, 12, 13, 14, 15}
+	counts := []int{1, 2, 0, 3}
+	got := make([][]int, 4)
+	_, err := Run(w, func(c *Comm) error {
+		var buf []int
+		var err error
+		if c.IsRoot() {
+			buf, err = Scatterv(c, data, counts)
+		} else {
+			buf, err = Scatterv[int](c, nil, nil)
+		}
+		if err != nil {
+			return err
+		}
+		got[c.Rank()] = buf
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{{10}, {11, 12}, {}, {13, 14, 15}}
+	for r := range want {
+		if len(got[r]) != len(want[r]) {
+			t.Fatalf("rank %d got %v, want %v", r, got[r], want[r])
+		}
+		for i := range want[r] {
+			if got[r][i] != want[r][i] {
+				t.Fatalf("rank %d got %v, want %v", r, got[r], want[r])
+			}
+		}
+	}
+}
+
+func TestScatterEqualShares(t *testing.T) {
+	w := world4(t)
+	data := make([]int, 8)
+	for i := range data {
+		data[i] = i
+	}
+	items := make([]int, 4)
+	_, err := Run(w, func(c *Comm) error {
+		var buf []int
+		var err error
+		if c.IsRoot() {
+			buf, err = Scatter(c, data, 2)
+		} else {
+			buf, err = Scatter[int](c, nil, 2)
+		}
+		if err != nil {
+			return err
+		}
+		items[c.Rank()] = len(buf)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, n := range items {
+		if n != 2 {
+			t.Errorf("rank %d received %d items, want 2", r, n)
+		}
+	}
+}
+
+func TestScattervErrors(t *testing.T) {
+	w := world4(t)
+	_, err := Run(w, func(c *Comm) error {
+		if c.IsRoot() {
+			_, err := Scatterv(c, []int{1, 2}, []int{1, 1, 1, 1}) // needs 4, has 2
+			return err
+		}
+		_, err := Scatterv[int](c, nil, nil)
+		return err
+	})
+	if err == nil {
+		t.Error("oversized scatter accepted")
+	}
+
+	w2 := world4(t)
+	_, err = Run(w2, func(c *Comm) error {
+		if c.IsRoot() {
+			_, err := Scatterv(c, []int{1, 2}, []int{1, -1, 1, 1})
+			return err
+		}
+		_, err := Scatterv[int](c, nil, nil)
+		return err
+	})
+	if err == nil {
+		t.Error("negative count accepted")
+	}
+}
+
+func TestGathervConcatenatesInRankOrder(t *testing.T) {
+	w := world4(t)
+	var rootGot []int
+	_, err := Run(w, func(c *Comm) error {
+		contrib := []int{c.Rank() * 10, c.Rank()*10 + 1}
+		out, err := Gatherv(c, contrib)
+		if err != nil {
+			return err
+		}
+		if c.IsRoot() {
+			rootGot = out
+		} else if out != nil {
+			t.Errorf("non-root rank %d received gather output", c.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 10, 11, 20, 21, 30, 31}
+	if len(rootGot) != len(want) {
+		t.Fatalf("gathered %v, want %v", rootGot, want)
+	}
+	for i := range want {
+		if rootGot[i] != want[i] {
+			t.Fatalf("gathered %v, want %v", rootGot, want)
+		}
+	}
+}
+
+func TestBcastDeliversToAll(t *testing.T) {
+	w := world4(t)
+	payload := []string{"model", "v1"}
+	got := make([][]string, 4)
+	_, err := Run(w, func(c *Comm) error {
+		var in []string
+		if c.IsRoot() {
+			in = payload
+		}
+		out, err := Bcast(c, in)
+		if err != nil {
+			return err
+		}
+		got[c.Rank()] = out
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range got {
+		if len(got[r]) != 2 || got[r][0] != "model" {
+			t.Errorf("rank %d got %v", r, got[r])
+		}
+	}
+}
+
+func TestBcastSerializedTiming(t *testing.T) {
+	w := world4(t)
+	stats, err := Run(w, func(c *Comm) error {
+		var in []int
+		if c.IsRoot() {
+			in = []int{1, 2}
+		}
+		_, err := Bcast(c, in)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Root port: 2 items to P1 (alpha 1) -> t=2; to P2 (alpha 2) ->
+	// t=6; to P3 (alpha 3) -> t=12.
+	wants := []float64{2, 6, 12, 12}
+	for r, want := range wants {
+		if math.Abs(stats[r].Finish-want) > 1e-9 {
+			t.Errorf("rank %d finish = %g, want %g", r, stats[r].Finish, want)
+		}
+	}
+}
+
+func TestBarrierSynchronizesClocks(t *testing.T) {
+	w := world4(t)
+	stats, err := Run(w, func(c *Comm) error {
+		c.Charge(float64(c.Rank() + 1)) // finish at 1, 2, 3, 4
+		return Barrier(c)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, s := range stats {
+		if s.Finish != 4 {
+			t.Errorf("rank %d finish = %g, want 4", r, s.Finish)
+		}
+	}
+	// Idle time of rank 0 is 3 seconds.
+	if math.Abs(stats[0].IdleTime-3) > 1e-9 {
+		t.Errorf("rank 0 idle = %g, want 3", stats[0].IdleTime)
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	w := world4(t)
+	var rootVal float64
+	_, err := Run(w, func(c *Comm) error {
+		v, err := Reduce(c, float64(c.Rank()+1), Sum)
+		if err != nil {
+			return err
+		}
+		if c.IsRoot() {
+			rootVal = v
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rootVal != 10 {
+		t.Errorf("reduce sum = %g, want 10", rootVal)
+	}
+}
+
+func TestAllreduceMax(t *testing.T) {
+	w := world4(t)
+	got := make([]float64, 4)
+	_, err := Run(w, func(c *Comm) error {
+		v, err := Allreduce(c, float64(c.Rank()), Max)
+		if err != nil {
+			return err
+		}
+		got[c.Rank()] = v
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, v := range got {
+		if v != 3 {
+			t.Errorf("rank %d allreduce = %g, want 3", r, v)
+		}
+	}
+}
+
+func TestSendRecvVirtualTime(t *testing.T) {
+	w := world4(t)
+	stats, err := Run(w, func(c *Comm) error {
+		switch c.Rank() {
+		case 0:
+			// 3 items to root over alpha-1 link: send completes at 3.
+			return c.Send(3, []int{1, 2, 3}, 3)
+		case 3:
+			data, err := c.Recv(0)
+			if err != nil {
+				return err
+			}
+			if len(data.([]int)) != 3 {
+				t.Errorf("root received %v", data)
+			}
+			return nil
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(stats[0].Finish-3) > 1e-9 {
+		t.Errorf("sender finish = %g, want 3", stats[0].Finish)
+	}
+	if math.Abs(stats[3].Finish-3) > 1e-9 {
+		t.Errorf("receiver finish = %g, want 3 (idles until arrival)", stats[3].Finish)
+	}
+}
+
+func TestSendRecvFIFOOrder(t *testing.T) {
+	w := world4(t)
+	var got []int
+	_, err := Run(w, func(c *Comm) error {
+		switch c.Rank() {
+		case 0:
+			for i := 0; i < 5; i++ {
+				if err := c.Send(3, i, 1); err != nil {
+					return err
+				}
+			}
+		case 3:
+			for i := 0; i < 5; i++ {
+				v, err := c.Recv(0)
+				if err != nil {
+					return err
+				}
+				got = append(got, v.(int))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("messages reordered: %v", got)
+		}
+	}
+}
+
+func TestSendRecvRangeErrors(t *testing.T) {
+	w := world4(t)
+	_, err := Run(w, func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(99, nil, 1); err == nil {
+				t.Error("send out of range accepted")
+			}
+			if _, err := c.Recv(-2); err == nil {
+				t.Error("recv out of range accepted")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPropagatesPanics(t *testing.T) {
+	w := world4(t)
+	_, err := Run(w, func(c *Comm) error {
+		if c.Rank() == 1 {
+			panic("rank 1 exploded")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Error("panic not propagated")
+	}
+}
+
+func TestStatsPhaseAccounting(t *testing.T) {
+	w := world4(t)
+	dist := core.Distribution{4, 4, 4, 4}
+	data := make([]float64, 16)
+	stats, err := Run(w, func(c *Comm) error {
+		var buf []float64
+		var err error
+		if c.IsRoot() {
+			buf, err = Scatterv(c, data, []int(dist))
+		} else {
+			buf, err = Scatterv[float64](c, nil, nil)
+		}
+		if err != nil {
+			return err
+		}
+		c.ChargeItems(len(buf))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, s := range stats {
+		if s.ItemsReceived != 4 {
+			t.Errorf("rank %d received %d items, want 4", r, s.ItemsReceived)
+		}
+		total := s.CommTime + s.CompTime + s.IdleTime
+		if math.Abs(total-s.Finish) > 1e-9 {
+			t.Errorf("rank %d phases sum to %g, finish is %g", r, total, s.Finish)
+		}
+	}
+	// Rank 1 idles while rank 0 is served (4 items * alpha 1 = 4s),
+	// then receives for 8s, computes for 4s.
+	if math.Abs(stats[1].IdleTime-4) > 1e-9 ||
+		math.Abs(stats[1].CommTime-8) > 1e-9 ||
+		math.Abs(stats[1].CompTime-4) > 1e-9 {
+		t.Errorf("rank 1 phases = idle %g comm %g comp %g, want 4/8/4",
+			stats[1].IdleTime, stats[1].CommTime, stats[1].CompTime)
+	}
+}
+
+func TestChargeNegativeIsIgnored(t *testing.T) {
+	w := world4(t)
+	stats, err := Run(w, func(c *Comm) error {
+		c.Charge(-5)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range stats {
+		if s.Finish != 0 {
+			t.Errorf("negative charge advanced the clock to %g", s.Finish)
+		}
+	}
+}
+
+func TestLateReceiverGetsBufferedData(t *testing.T) {
+	// A rank that computes before joining the scatter should not pay
+	// the transfer time again if its data already landed.
+	w := world4(t)
+	stats, err := Run(w, func(c *Comm) error {
+		if c.Rank() == 2 {
+			c.Charge(1000) // very late to the party
+		}
+		var buf []int
+		var err error
+		if c.IsRoot() {
+			buf, err = Scatterv(c, make([]int, 4), []int{1, 1, 1, 1})
+		} else {
+			buf, err = Scatterv[int](c, nil, nil)
+		}
+		if err != nil {
+			return err
+		}
+		_ = buf
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank 2's data arrived at 1+2+3 = 6 << 1000; it proceeds at 1000.
+	if math.Abs(stats[2].Finish-1000) > 1e-9 {
+		t.Errorf("late receiver finish = %g, want 1000", stats[2].Finish)
+	}
+}
+
+func TestMultipleCollectivesInSequence(t *testing.T) {
+	w := world4(t)
+	_, err := Run(w, func(c *Comm) error {
+		for round := 0; round < 5; round++ {
+			var buf []int
+			var err error
+			if c.IsRoot() {
+				buf, err = Scatterv(c, make([]int, 8), []int{2, 2, 2, 2})
+			} else {
+				buf, err = Scatterv[int](c, nil, nil)
+			}
+			if err != nil {
+				return err
+			}
+			c.ChargeItems(len(buf))
+			if err := Barrier(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleRankWorld(t *testing.T) {
+	procs := []core.Processor{{Name: "solo", Comm: cost.Zero, Comp: cost.Linear{PerItem: 1}}}
+	w, err := NewWorld(procs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Run(w, func(c *Comm) error {
+		buf, err := Scatterv(c, []int{1, 2, 3}, []int{3})
+		if err != nil {
+			return err
+		}
+		c.ChargeItems(len(buf))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats[0].Finish != 3 {
+		t.Errorf("solo finish = %g, want 3", stats[0].Finish)
+	}
+}

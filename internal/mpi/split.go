@@ -1,0 +1,154 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// This file implements communicator splitting (MPI_Comm_split) and
+// custom transfer models. Together they enable hierarchical
+// collectives — e.g. a two-level scatter that ships each remote site's
+// whole block across the WAN once and re-scatters locally — which is
+// the standard answer to the single-level scatter's weakness on
+// wide-area topologies.
+
+// TransferModel computes the time to ship items from one rank to
+// another. Worlds default to the star model derived from the
+// processors' Tcomm functions; SetTransferModel installs a custom one
+// (e.g. site-aware costs where intra-machine transfers are free).
+type TransferModel func(from, to, items int) float64
+
+// SetTransferModel overrides the world's transfer-time model. It must
+// be called before Run.
+func (w *World) SetTransferModel(m TransferModel) { w.transfer = m }
+
+// Split partitions the ranks into sub-communicators, like
+// MPI_Comm_split: ranks passing the same color form a group, ordered
+// by (key, parent rank). Every rank must call Split (it is a
+// collective); the returned sub-communicator shares this rank's clock
+// and statistics with the parent, so time spent in sub-collectives is
+// accounted exactly once. The sub-world's root is the group's rank 0.
+func Split(c *Comm, color, key int) (*Comm, error) {
+	type in struct{ color, key int }
+	out, err := c.rendezvous(in{color, key}, func(w *World, clocks []float64, inputs []any) ([]float64, []float64, []any, error) {
+		p := w.Size()
+		// Group ranks by color.
+		type member struct{ key, rank int }
+		groups := map[int][]member{}
+		for r := 0; r < p; r++ {
+			mi := inputs[r].(in)
+			groups[mi.color] = append(groups[mi.color], member{mi.key, r})
+		}
+		// Build one sub-world per color; hand every rank its (world,
+		// newRank) pair. Splitting itself costs no virtual time.
+		commStarts := make([]float64, p)
+		outClocks := make([]float64, p)
+		outputs := make([]any, p)
+		for r := 0; r < p; r++ {
+			commStarts[r] = clocks[r]
+			outClocks[r] = clocks[r]
+		}
+		for _, members := range groups {
+			sort.Slice(members, func(i, j int) bool {
+				if members[i].key != members[j].key {
+					return members[i].key < members[j].key
+				}
+				return members[i].rank < members[j].rank
+			})
+			subProcs := make([]procSlot, len(members))
+			for i, m := range members {
+				subProcs[i] = procSlot{proc: w.procs[m.rank], parentRank: m.rank}
+			}
+			sub := &World{
+				procs:       extractProcs(subProcs),
+				rootRank:    0,
+				collectives: make(map[int]*collective),
+				mailboxes:   make(map[pairTag]chan message),
+				parentRanks: parentRanks(subProcs),
+			}
+			if w.transfer != nil {
+				// Inherit the custom model, translated to sub-ranks.
+				parent := w.transfer
+				ranks := sub.parentRanks
+				sub.transfer = func(from, to, items int) float64 {
+					return parent(ranks[from], ranks[to], items)
+				}
+			} else {
+				parentWorld := w
+				ranks := sub.parentRanks
+				sub.transfer = func(from, to, items int) float64 {
+					return parentWorld.starTransfer(ranks[from], ranks[to], items)
+				}
+			}
+			for i, m := range members {
+				outputs[m.rank] = subHandle{world: sub, rank: i}
+			}
+		}
+		return commStarts, outClocks, outputs, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	h, ok := out.(subHandle)
+	if !ok {
+		return nil, fmt.Errorf("mpi: split returned no group for rank %d", c.rank)
+	}
+	return &Comm{
+		world: h.world,
+		rank:  h.rank,
+		clock: c.clock,
+		stats: c.stats, // shared accounting with the parent handle
+	}, nil
+}
+
+// subHandle is the per-rank outcome of a split.
+type subHandle struct {
+	world *World
+	rank  int
+}
+
+// procSlot pairs a processor with its parent rank during a split.
+type procSlot struct {
+	proc       core.Processor
+	parentRank int
+}
+
+func extractProcs(slots []procSlot) []core.Processor {
+	out := make([]core.Processor, len(slots))
+	for i, s := range slots {
+		out[i] = s.proc
+	}
+	return out
+}
+
+func parentRanks(slots []procSlot) []int {
+	out := make([]int, len(slots))
+	for i, s := range slots {
+		out[i] = s.parentRank
+	}
+	return out
+}
+
+// ParentRank maps a sub-communicator rank back to the parent world's
+// rank (identity for a top-level communicator).
+func (c *Comm) ParentRank(rank int) int {
+	if c.world.parentRanks == nil {
+		return rank
+	}
+	return c.world.parentRanks[rank]
+}
+
+// Merge folds a sub-communicator's clock advance back into the parent
+// handle: after running sub-collectives on s, call parent.Merge(s) so
+// the parent's clock catches up before the next parent-level
+// operation. (Statistics are shared automatically; only the scalar
+// clock needs syncing.)
+func (c *Comm) Merge(sub *Comm) {
+	if sub.clock > c.clock {
+		// The time was already recorded in the shared stats by the
+		// sub-communicator's operations; just move the scalar clock.
+		c.clock = sub.clock
+	}
+}

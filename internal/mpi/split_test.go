@@ -1,0 +1,278 @@
+package mpi
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+)
+
+func TestSplitGroupsAndRanks(t *testing.T) {
+	w := world4(t)
+	type result struct {
+		size, subRank, subRoot, parentOfZero int
+	}
+	results := make([]result, 4)
+	_, err := Run(w, func(c *Comm) error {
+		color := c.Rank() % 2
+		sub, err := Split(c, color, c.Rank())
+		if err != nil {
+			return err
+		}
+		results[c.Rank()] = result{
+			size:         sub.Size(),
+			subRank:      sub.Rank(),
+			subRoot:      sub.Root(),
+			parentOfZero: sub.ParentRank(0),
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Colors 0: parent ranks {0, 2}; colors 1: {1, 3}.
+	for r, res := range results {
+		if res.size != 2 {
+			t.Errorf("rank %d sub size = %d, want 2", r, res.size)
+		}
+		if res.subRoot != 0 {
+			t.Errorf("rank %d sub root = %d", r, res.subRoot)
+		}
+		wantSubRank := r / 2
+		if res.subRank != wantSubRank {
+			t.Errorf("rank %d sub rank = %d, want %d", r, res.subRank, wantSubRank)
+		}
+		wantZero := r % 2
+		if res.parentOfZero != wantZero {
+			t.Errorf("rank %d group leader parent = %d, want %d", r, res.parentOfZero, wantZero)
+		}
+	}
+}
+
+func TestSplitKeyOrdering(t *testing.T) {
+	w := world4(t)
+	leaders := make([]int, 4)
+	_, err := Run(w, func(c *Comm) error {
+		// All same color; key reverses rank order, so parent rank 3
+		// becomes sub rank 0.
+		sub, err := Split(c, 0, -c.Rank())
+		if err != nil {
+			return err
+		}
+		leaders[c.Rank()] = sub.ParentRank(0)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, l := range leaders {
+		if l != 3 {
+			t.Errorf("rank %d sees group leader %d, want 3", r, l)
+		}
+	}
+}
+
+func TestSplitSubCollectives(t *testing.T) {
+	// Scatter within each color group; groups operate independently.
+	w := world4(t)
+	got := make([]int, 4)
+	_, err := Run(w, func(c *Comm) error {
+		sub, err := Split(c, c.Rank()%2, c.Rank())
+		if err != nil {
+			return err
+		}
+		var data []int
+		if sub.Rank() == sub.Root() {
+			base := c.Rank() % 2 * 100
+			data = []int{base + 1, base + 2}
+		}
+		buf, err := Scatterv(sub, data, []int{1, 1})
+		if err != nil {
+			return err
+		}
+		got[c.Rank()] = buf[0]
+		c.Merge(sub)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 101, 2, 102}
+	for r := range want {
+		if got[r] != want[r] {
+			t.Errorf("rank %d got %d, want %d", r, got[r], want[r])
+		}
+	}
+}
+
+func TestSplitSharedStatsAndMerge(t *testing.T) {
+	w := world4(t)
+	stats, err := Run(w, func(c *Comm) error {
+		sub, err := Split(c, 0, c.Rank())
+		if err != nil {
+			return err
+		}
+		// Work inside the sub-communicator advances the shared stats.
+		sub.Charge(5)
+		c.Merge(sub)
+		c.Charge(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, s := range stats {
+		if math.Abs(s.Finish-6) > 1e-9 {
+			t.Errorf("rank %d finish = %g, want 6", r, s.Finish)
+		}
+		if math.Abs(s.CompTime-6) > 1e-9 {
+			t.Errorf("rank %d comp time = %g, want 6 (5 in sub + 1 in parent)", r, s.CompTime)
+		}
+	}
+}
+
+func TestSetTransferModel(t *testing.T) {
+	procs := []core.Processor{
+		{Name: "a", Comm: cost.Linear{PerItem: 1}, Comp: cost.Zero},
+		{Name: "root", Comm: cost.Zero, Comp: cost.Zero},
+	}
+	w, err := NewWorld(procs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everything is 10x slower under the custom model.
+	w.SetTransferModel(func(from, to, items int) float64 {
+		return 10 * float64(items)
+	})
+	stats, err := Run(w, func(c *Comm) error {
+		var in []int
+		if c.IsRoot() {
+			in = []int{1, 2, 3}
+		}
+		_, err := Scatterv(c, in, []int{3, 0})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(stats[0].Finish-30) > 1e-9 {
+		t.Errorf("custom model finish = %g, want 30", stats[0].Finish)
+	}
+}
+
+// TestHierarchicalScatterBeatsFlatOnSiteTopology builds the two-level
+// scatter the split API exists for: on a site-aware model where
+// intra-site transfers are nearly free but WAN transfers are slow, the
+// root ships each remote site's whole block once and site leaders
+// re-scatter locally — beating the flat scatter that crosses the WAN
+// once per remote rank... which under linear costs is equal, so the
+// win comes from per-message WAN latency, which we include.
+func TestHierarchicalScatterBeatsFlatOnSiteTopology(t *testing.T) {
+	const (
+		localRanks  = 2 // ranks 0..1 + root at site A
+		remoteRanks = 6 // ranks 2..7 at site B
+		p           = localRanks + remoteRanks + 1
+		rootRank    = p - 1
+		perItemWAN  = 1e-4
+		latencyWAN  = 0.5 // per message: what the hierarchy amortizes
+		perItemLAN  = 1e-6
+		items       = 10000
+	)
+	site := func(rank int) int {
+		if rank >= localRanks && rank < localRanks+remoteRanks {
+			return 1
+		}
+		return 0
+	}
+	model := func(from, to, n int) float64 {
+		if from == to || n == 0 {
+			return 0
+		}
+		if site(from) != site(to) {
+			return latencyWAN + perItemWAN*float64(n)
+		}
+		return perItemLAN * float64(n)
+	}
+	procs := make([]core.Processor, p)
+	for i := range procs {
+		procs[i] = core.Processor{Name: "x", Comm: cost.Linear{PerItem: perItemWAN}, Comp: cost.Zero}
+	}
+
+	counts := make([]int, p)
+	for i := range counts {
+		counts[i] = items / p
+	}
+	counts[0] += items % p
+
+	run := func(hierarchical bool) float64 {
+		w, err := NewWorld(procs, rootRank)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.SetTransferModel(model)
+		data := make([]int32, items)
+		stats, err := Run(w, func(c *Comm) error {
+			var in []int32
+			if c.IsRoot() {
+				in = data
+			}
+			if !hierarchical {
+				_, err := Scatterv(c, in, counts)
+				return err
+			}
+			// Level 1: the root sends each remote rank's data to the
+			// site leader (rank localRanks) as one WAN message.
+			remoteTotal := 0
+			for r := localRanks; r < localRanks+remoteRanks; r++ {
+				remoteTotal += counts[r]
+			}
+			leader := localRanks
+			switch {
+			case c.IsRoot():
+				if err := c.Send(leader, in[:remoteTotal], remoteTotal); err != nil {
+					return err
+				}
+			case c.Rank() == leader:
+				if _, err := c.Recv(rootRank); err != nil {
+					return err
+				}
+			}
+			// Level 2: split by site; each site scatters locally.
+			sub, err := Split(c, site(c.Rank()), c.Rank())
+			if err != nil {
+				return err
+			}
+			subCounts := make([]int, sub.Size())
+			var subData []int32
+			for i := 0; i < sub.Size(); i++ {
+				subCounts[i] = counts[sub.ParentRank(i)]
+			}
+			if sub.Rank() == sub.Root() {
+				subData = make([]int32, items) // leaders hold their blocks
+			}
+			if _, err := Scatterv(sub, subData, subCounts); err != nil {
+				return err
+			}
+			c.Merge(sub)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Makespan(stats)
+	}
+
+	flat := run(false)
+	hier := run(true)
+	if hier >= flat {
+		t.Errorf("hierarchical scatter (%g) not faster than flat (%g) on a latency-bound WAN", hier, flat)
+	}
+	// The flat scatter pays the WAN latency once per remote rank; the
+	// hierarchy pays it once. Expect savings of roughly
+	// (remoteRanks-1)*latency.
+	saved := flat - hier
+	if saved < latencyWAN*float64(remoteRanks-2) {
+		t.Errorf("saved only %g s, expected ~%g", saved, latencyWAN*float64(remoteRanks-1))
+	}
+}

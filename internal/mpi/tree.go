@@ -1,0 +1,197 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements binomial-tree collectives, the MPICH default
+// the paper contrasts with flat trees in its introduction: "While
+// MPICH always use a binomial tree to propagate data, MPICH-G2 is able
+// to switch to a flat tree broadcast when network latency is high."
+// On the star-shaped grid model, a relay between two non-root nodes
+// pays both legs of the star, which is exactly why naive binomial
+// trees lose on wide-area topologies — the effect the experiment
+// driver quantifies.
+
+// binomialSchedule captures the arrival bookkeeping of a binomial
+// operation over relative ids (0 = root).
+type binomialSchedule struct {
+	p     int
+	root  int
+	ready []float64 // time the node holds its data, by relative id
+	port  []float64 // node's outbound port next-free time
+}
+
+func newBinomialSchedule(p, root int, rootReady float64) *binomialSchedule {
+	s := &binomialSchedule{
+		p:     p,
+		root:  root,
+		ready: make([]float64, p),
+		port:  make([]float64, p),
+	}
+	for i := range s.ready {
+		s.ready[i] = math.Inf(1)
+		s.port[i] = math.Inf(1)
+	}
+	s.ready[0] = rootReady
+	s.port[0] = rootReady
+	return s
+}
+
+// abs maps a relative id back to an absolute rank.
+func (s *binomialSchedule) abs(rel int) int { return (rel + s.root) % s.p }
+
+// send records a transfer of duration d from rel to child: the
+// sender's port serializes, the child becomes ready at arrival.
+func (s *binomialSchedule) send(rel, child int, d float64) {
+	if s.port[rel] < s.ready[rel] {
+		s.port[rel] = s.ready[rel]
+	}
+	arrive := s.port[rel] + d
+	s.port[rel] = arrive
+	s.ready[child] = arrive
+	s.port[child] = arrive
+}
+
+// BcastBinomial broadcasts the root's data to every rank along a
+// binomial tree: in round k (k = 1, 2, 4, ...), every node with
+// relative id < k that already holds the data forwards it to id + k.
+// log2(p) rounds instead of the flat tree's p-1 serial sends — but
+// each relay transfer between non-root nodes pays both star legs.
+func BcastBinomial[T any](c *Comm, data []T) ([]T, error) {
+	out, err := c.rendezvous(data, func(w *World, clocks []float64, inputs []any) ([]float64, []float64, []any, error) {
+		p := w.Size()
+		root := w.rootRank
+		payload := inputs[root].([]T)
+		n := len(payload)
+
+		s := newBinomialSchedule(p, root, clocks[root])
+		for k := 1; k < p; k <<= 1 {
+			for rel := 0; rel < k; rel++ {
+				child := rel + k
+				if child >= p {
+					continue
+				}
+				d := w.transferTime(s.abs(rel), s.abs(child), n)
+				s.send(rel, child, d)
+			}
+		}
+
+		commStarts := make([]float64, p)
+		outClocks := make([]float64, p)
+		outputs := make([]any, p)
+		for rel := 0; rel < p; rel++ {
+			r := s.abs(rel)
+			end := s.port[rel] // includes forwarding work
+			if clocks[r] > end {
+				end = clocks[r]
+			}
+			commStarts[r] = clocks[r]
+			outClocks[r] = end
+			outputs[r] = payload
+		}
+		return commStarts, outClocks, outputs, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out.([]T), nil
+}
+
+// ScattervBinomial distributes data by counts along a binomial tree:
+// the root first ships whole sub-tree blocks to sub-tree roots, which
+// recursively split them (the MPICH scatter algorithm). Each node
+// therefore receives its entire subtree's items before forwarding —
+// cheaper in rounds (log2 p), but moving aggregated blocks over slow
+// relay links can lose to the flat rank-order scatter of Scatterv on
+// heterogeneous stars.
+func ScattervBinomial[T any](c *Comm, data []T, counts []int) ([]T, error) {
+	type in struct {
+		data   []T
+		counts []int
+	}
+	out, err := c.rendezvous(in{data, counts}, func(w *World, clocks []float64, inputs []any) ([]float64, []float64, []any, error) {
+		p := w.Size()
+		root := w.rootRank
+		rootIn := inputs[root].(in)
+		counts = rootIn.counts
+		if len(counts) != p {
+			return nil, nil, nil, fmt.Errorf("mpi: binomial scatterv with %d counts for %d ranks", len(counts), p)
+		}
+		total := 0
+		for i, n := range counts {
+			if n < 0 {
+				return nil, nil, nil, fmt.Errorf("mpi: binomial scatterv count %d is negative", i)
+			}
+			total += n
+		}
+		if total > len(rootIn.data) {
+			return nil, nil, nil, fmt.Errorf("mpi: binomial scatterv needs %d items, root has %d", total, len(rootIn.data))
+		}
+
+		// Chunks by absolute rank (same layout as the flat Scatterv).
+		chunks := make([][]T, p)
+		off := 0
+		for i, n := range counts {
+			chunks[i] = rootIn.data[off : off+n]
+			off += n
+		}
+
+		// relCount[rel] = items destined for relative id rel.
+		relCount := make([]int, p)
+		for rel := 0; rel < p; rel++ {
+			relCount[rel] = counts[(rel+root)%p]
+		}
+		// blockItems(lo, hi) = items for relative ids in [lo, hi).
+		blockItems := func(lo, hi int) int {
+			if hi > p {
+				hi = p
+			}
+			sum := 0
+			for rel := lo; rel < hi; rel++ {
+				sum += relCount[rel]
+			}
+			return sum
+		}
+
+		// K = smallest power of two >= p.
+		K := 1
+		for K < p {
+			K <<= 1
+		}
+		s := newBinomialSchedule(p, root, clocks[root])
+		for k := K / 2; k >= 1; k >>= 1 {
+			// Senders in round k are the block holders: relative ids
+			// divisible by 2k. Each passes the upper half of its block
+			// (relative ids [rel+k, rel+2k)) to rel+k.
+			for rel := 0; rel+k < p; rel += 2 * k {
+				child := rel + k
+				items := blockItems(child, child+k)
+				d := w.transferTime(s.abs(rel), s.abs(child), items)
+				s.send(rel, child, d)
+			}
+		}
+
+		commStarts := make([]float64, p)
+		outClocks := make([]float64, p)
+		outputs := make([]any, p)
+		for rel := 0; rel < p; rel++ {
+			r := s.abs(rel)
+			end := s.port[rel]
+			if clocks[r] > end {
+				end = clocks[r]
+			}
+			commStarts[r] = clocks[r]
+			outClocks[r] = end
+			outputs[r] = chunks[r]
+		}
+		return commStarts, outClocks, outputs, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	chunk := out.([]T)
+	c.stats.ItemsReceived += len(chunk)
+	return chunk, nil
+}

@@ -1,0 +1,421 @@
+package mpi
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+)
+
+// homogeneousWorld builds p identical ranks (alpha=1, beta=1) with the
+// last rank as root.
+func homogeneousWorld(t *testing.T, p int) *World {
+	t.Helper()
+	procs := make([]core.Processor, p)
+	for i := range procs {
+		procs[i] = core.Processor{
+			Name: "n",
+			Comm: cost.Linear{PerItem: 1},
+			Comp: cost.Linear{PerItem: 1},
+		}
+	}
+	procs[p-1].Comm = cost.Zero
+	w, err := NewWorld(procs, p-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestBcastBinomialDeliversToAll(t *testing.T) {
+	w := homogeneousWorld(t, 8)
+	got := make([][]int, 8)
+	_, err := Run(w, func(c *Comm) error {
+		var in []int
+		if c.IsRoot() {
+			in = []int{1, 2, 3}
+		}
+		out, err := BcastBinomial(c, in)
+		if err != nil {
+			return err
+		}
+		got[c.Rank()] = out
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range got {
+		if len(got[r]) != 3 || got[r][0] != 1 {
+			t.Errorf("rank %d got %v", r, got[r])
+		}
+	}
+}
+
+func TestBcastBinomialBeatsFlatOnHomogeneousCluster(t *testing.T) {
+	// The MPICH rationale: log2(p) rounds beat p-1 serial sends when
+	// links are uniform. 16 ranks, 100 items each transfer.
+	const p = 16
+	runOne := func(binomial bool) float64 {
+		w := homogeneousWorld(t, p)
+		stats, err := Run(w, func(c *Comm) error {
+			var in []int
+			if c.IsRoot() {
+				in = make([]int, 100)
+			}
+			var err error
+			if binomial {
+				_, err = BcastBinomial(c, in)
+			} else {
+				_, err = Bcast(c, in)
+			}
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Makespan(stats)
+	}
+	flat := runOne(false)
+	binom := runOne(true)
+	if binom >= flat {
+		t.Errorf("binomial bcast (%g) not faster than flat (%g) on a homogeneous cluster", binom, flat)
+	}
+	// Flat: 15 serial sends of 100 items with both-leg cost 100 each
+	// except... transfers from the root cost 100 each -> 1500.
+	if math.Abs(flat-1500) > 1e-9 {
+		t.Errorf("flat bcast makespan = %g, want 1500", flat)
+	}
+	// Binomial: 4 rounds, but relays pay both star legs (200) while
+	// root sends pay 100; critical path = 100 + 3*200 = 700.
+	if math.Abs(binom-700) > 1e-9 {
+		t.Errorf("binomial bcast makespan = %g, want 700", binom)
+	}
+}
+
+func TestBcastBinomialTwoRanks(t *testing.T) {
+	w := homogeneousWorld(t, 2)
+	stats, err := Run(w, func(c *Comm) error {
+		var in []int
+		if c.IsRoot() {
+			in = make([]int, 10)
+		}
+		_, err := BcastBinomial(c, in)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(Makespan(stats)-10) > 1e-9 {
+		t.Errorf("2-rank binomial bcast makespan = %g, want 10", Makespan(stats))
+	}
+}
+
+func TestBcastBinomialNonLastRoot(t *testing.T) {
+	procs := make([]core.Processor, 5)
+	for i := range procs {
+		procs[i] = core.Processor{Name: "n", Comm: cost.Linear{PerItem: 1}, Comp: cost.Zero}
+	}
+	procs[2].Comm = cost.Zero
+	w, err := NewWorld(procs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]int, 5)
+	_, err = Run(w, func(c *Comm) error {
+		var in []int
+		if c.IsRoot() {
+			in = []int{7}
+		}
+		out, err := BcastBinomial(c, in)
+		if err != nil {
+			return err
+		}
+		got[c.Rank()] = out[0]
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, v := range got {
+		if v != 7 {
+			t.Errorf("rank %d got %d", r, v)
+		}
+	}
+}
+
+func TestScattervBinomialDeliversCorrectChunks(t *testing.T) {
+	w := homogeneousWorld(t, 4)
+	data := []int{10, 11, 12, 13, 14, 15}
+	counts := []int{1, 2, 0, 3}
+	got := make([][]int, 4)
+	_, err := Run(w, func(c *Comm) error {
+		var in []int
+		if c.IsRoot() {
+			in = data
+		}
+		out, err := ScattervBinomial(c, in, counts)
+		if err != nil {
+			return err
+		}
+		got[c.Rank()] = out
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{{10}, {11, 12}, {}, {13, 14, 15}}
+	for r := range want {
+		if len(got[r]) != len(want[r]) {
+			t.Fatalf("rank %d got %v, want %v", r, got[r], want[r])
+		}
+		for i := range want[r] {
+			if got[r][i] != want[r][i] {
+				t.Fatalf("rank %d got %v, want %v", r, got[r], want[r])
+			}
+		}
+	}
+}
+
+func TestScattervBinomialTimingHomogeneous(t *testing.T) {
+	// 4 ranks (root rel 0 = rank 3), 10 items each. Binomial scatter:
+	// round k=2: root sends rels [2,4) block = 20 items to rel 2;
+	// round k=1: root sends rel 1's 10 items; rel 2 sends rel 3's 10.
+	// Root port: 20 (to rel2, cost 20) + 10 (to rel1) = 30.
+	// rel2 (a non-root rank): receives at 20, forwards 10 items to
+	// rel3 over a relay link costing both legs (10+10=20) -> 40.
+	w := homogeneousWorld(t, 4)
+	stats, err := Run(w, func(c *Comm) error {
+		var in []int
+		if c.IsRoot() {
+			in = make([]int, 40)
+		}
+		_, err := ScattervBinomial(c, in, []int{10, 10, 10, 10})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(Makespan(stats)-40) > 1e-9 {
+		t.Errorf("binomial scatter makespan = %g, want 40", Makespan(stats))
+	}
+}
+
+func TestScattervBinomialErrors(t *testing.T) {
+	w := homogeneousWorld(t, 4)
+	_, err := Run(w, func(c *Comm) error {
+		var in []int
+		if c.IsRoot() {
+			in = []int{1}
+		}
+		_, err := ScattervBinomial(c, in, []int{1, 1, 1, 1})
+		return err
+	})
+	if err == nil {
+		t.Error("oversized binomial scatter accepted")
+	}
+	w2 := homogeneousWorld(t, 4)
+	_, err = Run(w2, func(c *Comm) error {
+		var in []int
+		if c.IsRoot() {
+			in = []int{1, 2}
+		}
+		_, err := ScattervBinomial(c, in, []int{1, -1, 1, 1})
+		return err
+	})
+	if err == nil {
+		t.Error("negative binomial scatter count accepted")
+	}
+}
+
+func TestScattervBinomialMatchesFlatChunksOnTable1Shape(t *testing.T) {
+	// Flat and binomial scatters must deliver identical chunks; only
+	// the timing differs.
+	procs := []core.Processor{
+		{Name: "a", Comm: cost.Linear{PerItem: 2}, Comp: cost.Zero},
+		{Name: "b", Comm: cost.Linear{PerItem: 1}, Comp: cost.Zero},
+		{Name: "c", Comm: cost.Linear{PerItem: 3}, Comp: cost.Zero},
+		{Name: "root", Comm: cost.Zero, Comp: cost.Zero},
+	}
+	counts := []int{3, 1, 2, 4}
+	data := make([]int, 10)
+	for i := range data {
+		data[i] = i
+	}
+	run := func(binomial bool) [][]int {
+		w, err := NewWorld(procs, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([][]int, 4)
+		_, err = Run(w, func(c *Comm) error {
+			var in []int
+			if c.IsRoot() {
+				in = data
+			}
+			var out []int
+			var err error
+			if binomial {
+				out, err = ScattervBinomial(c, in, counts)
+			} else {
+				out, err = Scatterv(c, in, counts)
+			}
+			got[c.Rank()] = out
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	flat, binom := run(false), run(true)
+	for r := range flat {
+		if len(flat[r]) != len(binom[r]) {
+			t.Fatalf("rank %d: flat %v vs binomial %v", r, flat[r], binom[r])
+		}
+		for i := range flat[r] {
+			if flat[r][i] != binom[r][i] {
+				t.Fatalf("rank %d: flat %v vs binomial %v", r, flat[r], binom[r])
+			}
+		}
+	}
+}
+
+func TestIsendWaitOverlapsComputation(t *testing.T) {
+	w := world4(t)
+	stats, err := Run(w, func(c *Comm) error {
+		switch c.Rank() {
+		case 0:
+			// Send 10 items to the root (10s on the alpha-1 link),
+			// compute 6s meanwhile, then wait: finish at 10, not 16.
+			req, err := c.Isend(3, []int{1}, 10)
+			if err != nil {
+				return err
+			}
+			c.Charge(6)
+			_, err = req.Wait()
+			return err
+		case 3:
+			_, err := c.Recv(0)
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(stats[0].Finish-10) > 1e-9 {
+		t.Errorf("overlapped sender finishes at %g, want 10", stats[0].Finish)
+	}
+	if stats[0].CompTime != 6 {
+		t.Errorf("sender compute time = %g, want 6", stats[0].CompTime)
+	}
+}
+
+func TestIsendWaitAfterTransferCompletes(t *testing.T) {
+	w := world4(t)
+	stats, err := Run(w, func(c *Comm) error {
+		switch c.Rank() {
+		case 0:
+			req, err := c.Isend(3, nil, 5) // 5s transfer
+			if err != nil {
+				return err
+			}
+			c.Charge(20) // computes way past the transfer
+			_, err = req.Wait()
+			return err
+		case 3:
+			_, err := c.Recv(0)
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(stats[0].Finish-20) > 1e-9 {
+		t.Errorf("sender finishes at %g, want 20 (wait is free)", stats[0].Finish)
+	}
+}
+
+func TestIrecvWait(t *testing.T) {
+	w := world4(t)
+	var got any
+	stats, err := Run(w, func(c *Comm) error {
+		switch c.Rank() {
+		case 0:
+			return c.Send(3, "payload", 4)
+		case 3:
+			req, err := c.Irecv(0)
+			if err != nil {
+				return err
+			}
+			c.Charge(1) // overlap
+			got, err = req.Wait()
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "payload" {
+		t.Errorf("received %v", got)
+	}
+	if math.Abs(stats[3].Finish-4) > 1e-9 {
+		t.Errorf("receiver finishes at %g, want 4", stats[3].Finish)
+	}
+}
+
+func TestWaitAllAndDoubleWait(t *testing.T) {
+	w := world4(t)
+	_, err := Run(w, func(c *Comm) error {
+		switch c.Rank() {
+		case 0:
+			r1, err := c.Isend(3, 1, 1)
+			if err != nil {
+				return err
+			}
+			r2, err := c.Isend(3, 2, 1)
+			if err != nil {
+				return err
+			}
+			if _, err := WaitAll(r1, r2); err != nil {
+				return err
+			}
+			if _, err := r1.Wait(); err == nil {
+				t.Error("double wait accepted")
+			}
+			return nil
+		case 3:
+			if _, err := c.Recv(0); err != nil {
+				return err
+			}
+			_, err := c.Recv(0)
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonblockingRangeErrors(t *testing.T) {
+	w := world4(t)
+	_, err := Run(w, func(c *Comm) error {
+		if c.Rank() == 0 {
+			if _, err := c.Isend(99, nil, 1); err == nil {
+				t.Error("isend out of range accepted")
+			}
+			if _, err := c.Irecv(-1); err == nil {
+				t.Error("irecv out of range accepted")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

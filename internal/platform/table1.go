@@ -1,0 +1,53 @@
+package platform
+
+// Table1 returns the paper's experimental testbed (Table 1): 16
+// processors across two French sites, with the calibrated per-ray
+// computation costs (beta) and root-link communication costs (alpha)
+// reported by the authors. The data set lives on dinadan, which is
+// therefore the root.
+//
+//	Machine    CPUs  Type      beta (s/ray)  Rating  alpha (s/ray)
+//	dinadan    1     PIII/933  0.009288      1       0
+//	pellinore  1     PIII/800  0.009365      0.99    1.12e-5
+//	caseb      1     XP1800    0.004629      2       1.00e-5
+//	sekhmet    1     XP1800    0.004885      1.90    1.70e-5
+//	merlin     2     XP2000    0.003976      2.33    8.15e-5
+//	seven      2     R12K/300  0.016156      0.57    2.10e-5
+//	leda       8     R14K/500  0.009677      0.95    3.53e-5
+//
+// merlin, though geographically close to the root, has the smallest
+// bandwidth: it sat behind a 10 Mbit/s hub during the experiment while
+// the others used fast-ethernet switches. leda is the remote Origin
+// 3800, at the other end of France.
+func Table1() Platform {
+	return Platform{
+		Name: "table1-two-site-grid",
+		Root: "dinadan",
+		Machines: []Machine{
+			{Name: "dinadan", CPUs: 1, CPUType: "PIII/933", Beta: 0.009288, Rating: 1.00, Alpha: 0, Site: "strasbourg"},
+			{Name: "pellinore", CPUs: 1, CPUType: "PIII/800", Beta: 0.009365, Rating: 0.99, Alpha: 1.12e-5, Site: "strasbourg"},
+			{Name: "caseb", CPUs: 1, CPUType: "XP1800", Beta: 0.004629, Rating: 2.00, Alpha: 1.00e-5, Site: "strasbourg"},
+			{Name: "sekhmet", CPUs: 1, CPUType: "XP1800", Beta: 0.004885, Rating: 1.90, Alpha: 1.70e-5, Site: "strasbourg"},
+			{Name: "merlin", CPUs: 2, CPUType: "XP2000", Beta: 0.003976, Rating: 2.33, Alpha: 8.15e-5, Site: "strasbourg"},
+			{Name: "seven", CPUs: 2, CPUType: "R12K/300", Beta: 0.016156, Rating: 0.57, Alpha: 2.10e-5, Site: "strasbourg"},
+			{Name: "leda", CPUs: 8, CPUType: "R14K/500", Beta: 0.009677, Rating: 0.95, Alpha: 3.53e-5, Site: "montpellier"},
+		},
+	}
+}
+
+// Table1Rays is the size of the paper's input: the full set of seismic
+// events of year 1999, ray-traced in the experiments of Section 5.
+const Table1Rays = 817101
+
+// PaperFig2 holds the headline measurements of Figure 2 (original
+// program, uniform distribution): earliest and latest processor finish
+// times in seconds.
+var PaperFig2 = struct{ Earliest, Latest float64 }{259, 853}
+
+// PaperFig3 holds the measurements of Figure 3 (load-balanced,
+// descending bandwidth order).
+var PaperFig3 = struct{ Earliest, Latest float64 }{405, 430}
+
+// PaperFig4 holds the measurements of Figure 4 (load-balanced,
+// ascending bandwidth order).
+var PaperFig4 = struct{ Earliest, Latest float64 }{437, 486}

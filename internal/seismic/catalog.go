@@ -1,0 +1,188 @@
+package seismic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// WaveType distinguishes compressional (P) from shear (S) waves.
+type WaveType uint8
+
+const (
+	// WaveP is a compressional wave.
+	WaveP WaveType = iota
+	// WaveS is a shear wave.
+	WaveS
+)
+
+// String names the wave type.
+func (w WaveType) String() string {
+	switch w {
+	case WaveP:
+		return "P"
+	case WaveS:
+		return "S"
+	default:
+		return fmt.Sprintf("wave(%d)", int(w))
+	}
+}
+
+// Event is one seismic wave record: the earthquake hypocenter, the
+// receiving captor, and the wave type — exactly the "pair of 3D
+// coordinates plus the wave type" the paper describes as input items.
+// Angles are in radians, depth in km.
+type Event struct {
+	// ID numbers the event within its catalog.
+	ID int64
+	// SrcLat, SrcLon and SrcDepthKm locate the earthquake hypocenter.
+	SrcLat, SrcLon, SrcDepthKm float64
+	// CapLat and CapLon locate the recording captor (at the surface).
+	CapLat, CapLon float64
+	// Wave is the recorded wave type.
+	Wave WaveType
+	// ObservedTime is the recorded travel time in seconds (synthetic:
+	// model time plus noise), the quantity tomography fits against.
+	ObservedTime float64
+}
+
+// Station is a fixed captor location.
+type Station struct {
+	// Name identifies the station.
+	Name string
+	// Lat and Lon are in radians.
+	Lat, Lon float64
+}
+
+// StationNetwork generates a deterministic worldwide captor network of
+// the given size, quasi-uniform on the sphere (Fibonacci lattice).
+func StationNetwork(n int) []Station {
+	if n <= 0 {
+		return nil
+	}
+	stations := make([]Station, n)
+	golden := math.Pi * (3 - math.Sqrt(5))
+	for i := range stations {
+		z := 1 - 2*(float64(i)+0.5)/float64(n)
+		lat := math.Asin(z)
+		lon := math.Mod(golden*float64(i), 2*math.Pi) - math.Pi
+		stations[i] = Station{Name: fmt.Sprintf("ST%03d", i), Lat: lat, Lon: lon}
+	}
+	return stations
+}
+
+// CatalogConfig tunes the synthetic catalog generator.
+type CatalogConfig struct {
+	// Seed makes the catalog reproducible.
+	Seed int64
+	// Events is the number of records to generate (the paper's full
+	// 1999 data set has 817,101).
+	Events int
+	// Stations is the captor network size (default 200).
+	Stations int
+	// SWaveFraction is the fraction of S-wave records (default 0.3).
+	SWaveFraction float64
+}
+
+// SyntheticCatalog generates a deterministic pseudo-random event
+// catalog: hypocenters clustered along synthetic seismic belts with
+// depths mostly shallow (an exponential mixture up to 700 km, like real
+// seismicity), recorded by a worldwide station network.
+func SyntheticCatalog(cfg CatalogConfig) []Event {
+	if cfg.Events <= 0 {
+		return nil
+	}
+	if cfg.Stations <= 0 {
+		cfg.Stations = 200
+	}
+	if cfg.SWaveFraction <= 0 {
+		cfg.SWaveFraction = 0.3
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	stations := StationNetwork(cfg.Stations)
+
+	// Synthetic seismic belts: a few great-circle-ish bands where most
+	// quakes concentrate, mimicking plate boundaries.
+	type belt struct {
+		lat0, lon0, latAmp, spread float64
+	}
+	belts := []belt{
+		{lat0: 0.6, lon0: -2.8, latAmp: 0.5, spread: 0.08},  // circum-pacific north
+		{lat0: -0.5, lon0: 2.0, latAmp: 0.4, spread: 0.10},  // circum-pacific south
+		{lat0: 0.3, lon0: 0.5, latAmp: 0.15, spread: 0.06},  // alpide belt
+		{lat0: 0.0, lon0: -0.4, latAmp: 0.05, spread: 0.12}, // mid-atlantic ridge
+	}
+
+	events := make([]Event, cfg.Events)
+	for i := range events {
+		b := belts[rng.Intn(len(belts))]
+		along := rng.Float64()*2*math.Pi - math.Pi
+		lat := b.lat0 + b.latAmp*math.Sin(along+b.lon0) + rng.NormFloat64()*b.spread
+		lat = clampLat(lat)
+		lon := wrapLon(along)
+
+		// Depth: 70% shallow (exponential, mean 25 km), 30% deeper
+		// (up to 700 km, subduction zones).
+		var depth float64
+		if rng.Float64() < 0.7 {
+			depth = math.Min(70, rng.ExpFloat64()*25)
+		} else {
+			depth = 70 + rng.Float64()*630
+		}
+
+		st := stations[rng.Intn(len(stations))]
+		wave := WaveP
+		if rng.Float64() < cfg.SWaveFraction {
+			wave = WaveS
+		}
+		events[i] = Event{
+			ID:         int64(i),
+			SrcLat:     lat,
+			SrcLon:     lon,
+			SrcDepthKm: depth,
+			CapLat:     st.Lat,
+			CapLon:     st.Lon,
+			Wave:       wave,
+		}
+	}
+	return events
+}
+
+func clampLat(lat float64) float64 {
+	const max = math.Pi/2 - 1e-6
+	if lat > max {
+		return max
+	}
+	if lat < -max {
+		return -max
+	}
+	return lat
+}
+
+func wrapLon(lon float64) float64 {
+	for lon > math.Pi {
+		lon -= 2 * math.Pi
+	}
+	for lon < -math.Pi {
+		lon += 2 * math.Pi
+	}
+	return lon
+}
+
+// EpicentralDistance returns the great-circle angular distance in
+// radians between two (lat, lon) points, via the haversine formula.
+func EpicentralDistance(lat1, lon1, lat2, lon2 float64) float64 {
+	dLat := lat2 - lat1
+	dLon := lon2 - lon1
+	h := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(lat1)*math.Cos(lat2)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	if h > 1 {
+		h = 1
+	}
+	return 2 * math.Asin(math.Sqrt(h))
+}
+
+// Distance returns the event's epicentral distance in radians.
+func (e Event) Distance() float64 {
+	return EpicentralDistance(e.SrcLat, e.SrcLon, e.CapLat, e.CapLon)
+}

@@ -1,0 +1,104 @@
+package seismic
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// This file reads and writes event catalogs as CSV, the "data file"
+// the paper's root processor reads n lines from. The column layout is
+//
+//	id,src_lat,src_lon,src_depth_km,cap_lat,cap_lon,wave,observed_s
+//
+// with angles in radians and the wave column "P" or "S".
+
+// csvHeader is the catalog file header row.
+var csvHeader = []string{"id", "src_lat", "src_lon", "src_depth_km", "cap_lat", "cap_lon", "wave", "observed_s"}
+
+// WriteCatalog writes events as CSV with a header row.
+func WriteCatalog(w io.Writer, events []Event) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("seismic: write header: %w", err)
+	}
+	rec := make([]string, len(csvHeader))
+	for _, ev := range events {
+		rec[0] = strconv.FormatInt(ev.ID, 10)
+		rec[1] = strconv.FormatFloat(ev.SrcLat, 'g', -1, 64)
+		rec[2] = strconv.FormatFloat(ev.SrcLon, 'g', -1, 64)
+		rec[3] = strconv.FormatFloat(ev.SrcDepthKm, 'g', -1, 64)
+		rec[4] = strconv.FormatFloat(ev.CapLat, 'g', -1, 64)
+		rec[5] = strconv.FormatFloat(ev.CapLon, 'g', -1, 64)
+		rec[6] = ev.Wave.String()
+		rec[7] = strconv.FormatFloat(ev.ObservedTime, 'g', -1, 64)
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("seismic: write event %d: %w", ev.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCatalog parses a catalog CSV produced by WriteCatalog (the
+// header row is required and validated).
+func ReadCatalog(r io.Reader) ([]Event, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("seismic: read header: %w", err)
+	}
+	for i, want := range csvHeader {
+		if header[i] != want {
+			return nil, fmt.Errorf("seismic: header column %d is %q, want %q", i, header[i], want)
+		}
+	}
+	var events []Event
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return events, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("seismic: line %d: %w", line, err)
+		}
+		ev, err := parseEvent(rec)
+		if err != nil {
+			return nil, fmt.Errorf("seismic: line %d: %w", line, err)
+		}
+		events = append(events, ev)
+	}
+}
+
+func parseEvent(rec []string) (Event, error) {
+	var ev Event
+	var err error
+	if ev.ID, err = strconv.ParseInt(rec[0], 10, 64); err != nil {
+		return Event{}, fmt.Errorf("bad id %q", rec[0])
+	}
+	floats := []*float64{&ev.SrcLat, &ev.SrcLon, &ev.SrcDepthKm, &ev.CapLat, &ev.CapLon}
+	for i, dst := range floats {
+		v, err := strconv.ParseFloat(rec[i+1], 64)
+		if err != nil {
+			return Event{}, fmt.Errorf("bad %s %q", csvHeader[i+1], rec[i+1])
+		}
+		*dst = v
+	}
+	switch rec[6] {
+	case "P":
+		ev.Wave = WaveP
+	case "S":
+		ev.Wave = WaveS
+	default:
+		return Event{}, fmt.Errorf("bad wave %q", rec[6])
+	}
+	if ev.ObservedTime, err = strconv.ParseFloat(rec[7], 64); err != nil {
+		return Event{}, fmt.Errorf("bad observed_s %q", rec[7])
+	}
+	if ev.SrcDepthKm < 0 || ev.SrcDepthKm > EarthRadiusKm {
+		return Event{}, fmt.Errorf("depth %g km out of range", ev.SrcDepthKm)
+	}
+	return ev, nil
+}

@@ -1,0 +1,79 @@
+package seismic
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCatalogRoundTrip(t *testing.T) {
+	events := SyntheticCatalog(CatalogConfig{Seed: 4, Events: 200})
+	events[0].ObservedTime = 123.456
+	var buf bytes.Buffer
+	if err := WriteCatalog(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCatalog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(events) {
+		t.Fatalf("round trip: %d events, want %d", len(back), len(events))
+	}
+	for i := range events {
+		if back[i] != events[i] {
+			t.Fatalf("event %d changed: %+v != %+v", i, back[i], events[i])
+		}
+	}
+}
+
+func TestWriteCatalogEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCatalog(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCatalog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 0 {
+		t.Errorf("empty catalog round-tripped %d events", len(back))
+	}
+}
+
+func TestReadCatalogRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		name, data string
+	}{
+		{"empty", ""},
+		{"wrong header", "a,b,c,d,e,f,g,h\n"},
+		{"bad id", "id,src_lat,src_lon,src_depth_km,cap_lat,cap_lon,wave,observed_s\nx,0,0,0,0,0,P,0\n"},
+		{"bad lat", "id,src_lat,src_lon,src_depth_km,cap_lat,cap_lon,wave,observed_s\n1,zzz,0,0,0,0,P,0\n"},
+		{"bad wave", "id,src_lat,src_lon,src_depth_km,cap_lat,cap_lon,wave,observed_s\n1,0,0,0,0,0,Q,0\n"},
+		{"bad time", "id,src_lat,src_lon,src_depth_km,cap_lat,cap_lon,wave,observed_s\n1,0,0,0,0,0,P,zz\n"},
+		{"depth out of range", "id,src_lat,src_lon,src_depth_km,cap_lat,cap_lon,wave,observed_s\n1,0,0,99999,0,0,P,0\n"},
+		{"short row", "id,src_lat,src_lon,src_depth_km,cap_lat,cap_lon,wave,observed_s\n1,0,0\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ReadCatalog(strings.NewReader(c.data)); err == nil {
+				t.Error("bad catalog accepted")
+			}
+		})
+	}
+}
+
+func TestCatalogCSVIsHumanReadable(t *testing.T) {
+	events := SyntheticCatalog(CatalogConfig{Seed: 5, Events: 2})
+	var buf bytes.Buffer
+	if err := WriteCatalog(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "id,src_lat") {
+		t.Errorf("missing header: %q", out)
+	}
+	if lines := strings.Count(out, "\n"); lines != 3 {
+		t.Errorf("expected 3 lines, got %d:\n%s", lines, out)
+	}
+}

@@ -1,0 +1,144 @@
+// Package seismic implements the paper's motivating application: a
+// seismic-tomography ray tracer. Each input item is one seismic event —
+// an earthquake hypocenter, a recording captor, and a wave type — and
+// the per-item work is tracing the wave's ray path through a layered
+// spherical-Earth velocity model and evaluating its travel time
+// (Section 2 of the paper). All rays are independent, which is what
+// makes the scatter operation a load-balancing lever.
+//
+// The paper used the full set of 817,101 seismic events of year 1999;
+// we substitute a deterministic synthetic catalog with the same count,
+// independence and cost profile (see DESIGN.md).
+package seismic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// EarthRadiusKm is the reference Earth radius used by the model.
+const EarthRadiusKm = 6371.0
+
+// Layer is one constant-velocity spherical shell.
+type Layer struct {
+	// Name documents the layer (e.g. "lower mantle").
+	Name string
+	// InnerRadius and OuterRadius bound the shell in km from the
+	// Earth's center.
+	InnerRadius, OuterRadius float64
+	// VP and VS are the P- and S-wave velocities in km/s. VS = 0
+	// marks a fluid layer (no shear waves).
+	VP, VS float64
+}
+
+// EarthModel is a 1-D (radially layered) velocity model, ordered from
+// the surface inward.
+type EarthModel struct {
+	// Layers are ordered from the outermost (crust) to the innermost
+	// (inner core), contiguous in radius.
+	Layers []Layer
+}
+
+// Validate checks layer ordering and contiguity.
+func (m EarthModel) Validate() error {
+	if len(m.Layers) == 0 {
+		return errors.New("seismic: empty earth model")
+	}
+	if m.Layers[0].OuterRadius != EarthRadiusKm {
+		return fmt.Errorf("seismic: outermost layer ends at %g km, want %g", m.Layers[0].OuterRadius, EarthRadiusKm)
+	}
+	prev := m.Layers[0].OuterRadius
+	for i, l := range m.Layers {
+		if l.OuterRadius != prev {
+			return fmt.Errorf("seismic: layer %d (%s) starts at %g, previous ended at %g", i, l.Name, l.OuterRadius, prev)
+		}
+		if l.InnerRadius >= l.OuterRadius {
+			return fmt.Errorf("seismic: layer %d (%s) has inverted radii", i, l.Name)
+		}
+		if l.VP <= 0 || l.VS < 0 {
+			return fmt.Errorf("seismic: layer %d (%s) has invalid velocities", i, l.Name)
+		}
+		prev = l.InnerRadius
+	}
+	if prev != 0 {
+		return fmt.Errorf("seismic: innermost layer ends at %g km, want 0", prev)
+	}
+	return nil
+}
+
+// VelocityAt returns the wave velocity at radius r for the wave type.
+// It returns 0 for a fluid layer and an S wave.
+func (m EarthModel) VelocityAt(r float64, w WaveType) float64 {
+	for _, l := range m.Layers {
+		if r <= l.OuterRadius && r >= l.InnerRadius {
+			return l.velocity(w)
+		}
+	}
+	return 0
+}
+
+func (l Layer) velocity(w WaveType) float64 {
+	if w == WaveS {
+		return l.VS
+	}
+	return l.VP
+}
+
+// IASP91Lite returns a simplified standard Earth model: six
+// constant-velocity shells approximating the IASP91 reference model.
+// Velocity increases with depth throughout the mantle, so mantle eta
+// (r/v) decreases monotonically with depth and two-point ray tracing by
+// bisection on the ray parameter is well-posed for mantle-turning rays.
+func IASP91Lite() EarthModel {
+	return EarthModel{Layers: []Layer{
+		{Name: "crust", InnerRadius: 6336, OuterRadius: 6371, VP: 5.8, VS: 3.4},
+		{Name: "upper mantle", InnerRadius: 6151, OuterRadius: 6336, VP: 8.0, VS: 4.5},
+		{Name: "transition zone", InnerRadius: 5711, OuterRadius: 6151, VP: 9.6, VS: 5.2},
+		{Name: "lower mantle", InnerRadius: 3482, OuterRadius: 5711, VP: 12.3, VS: 6.6},
+		{Name: "outer core", InnerRadius: 1217.5, OuterRadius: 3482, VP: 9.0, VS: 0},
+		{Name: "inner core", InnerRadius: 0, OuterRadius: 1217.5, VP: 11.1, VS: 3.6},
+	}}
+}
+
+// Refine splits every layer into sub-shells of at most stepKm
+// thickness, emulating a smooth velocity gradient with a velocity
+// interpolated linearly between the original layer boundaries. More
+// sub-shells mean more work per ray (and a more accurate path): this is
+// the resolution knob of the compute kernel.
+func (m EarthModel) Refine(stepKm float64) EarthModel {
+	if stepKm <= 0 {
+		return m
+	}
+	var out EarthModel
+	for li, l := range m.Layers {
+		thickness := l.OuterRadius - l.InnerRadius
+		parts := int(math.Ceil(thickness / stepKm))
+		if parts < 1 {
+			parts = 1
+		}
+		// Interpolate towards the next (deeper) layer's velocities to
+		// mimic a gradient; the deepest layer stays constant.
+		nextVP, nextVS := l.VP, l.VS
+		if li+1 < len(m.Layers) {
+			nextVP = (l.VP + m.Layers[li+1].VP) / 2
+			nextVS = (l.VS + m.Layers[li+1].VS) / 2
+			if l.VS == 0 {
+				nextVS = 0 // a fluid layer stays fluid
+			}
+		}
+		for k := 0; k < parts; k++ {
+			fracTop := float64(k) / float64(parts)
+			fracBot := float64(k+1) / float64(parts)
+			sub := Layer{
+				Name:        fmt.Sprintf("%s[%d/%d]", l.Name, k+1, parts),
+				OuterRadius: l.OuterRadius - fracTop*thickness,
+				InnerRadius: l.OuterRadius - fracBot*thickness,
+				VP:          l.VP + (nextVP-l.VP)*(fracTop+fracBot)/2,
+				VS:          l.VS + (nextVS-l.VS)*(fracTop+fracBot)/2,
+			}
+			out.Layers = append(out.Layers, sub)
+		}
+	}
+	return out
+}

@@ -1,0 +1,439 @@
+package seismic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestIASP91LiteValidates(t *testing.T) {
+	if err := IASP91Lite().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelValidateCatchesBrokenModels(t *testing.T) {
+	cases := []struct {
+		name string
+		m    EarthModel
+	}{
+		{"empty", EarthModel{}},
+		{"wrong surface", EarthModel{Layers: []Layer{{OuterRadius: 6000, InnerRadius: 0, VP: 5}}}},
+		{"gap", EarthModel{Layers: []Layer{
+			{OuterRadius: 6371, InnerRadius: 3000, VP: 5},
+			{OuterRadius: 2900, InnerRadius: 0, VP: 5},
+		}}},
+		{"not reaching center", EarthModel{Layers: []Layer{{OuterRadius: 6371, InnerRadius: 100, VP: 5}}}},
+		{"inverted", EarthModel{Layers: []Layer{{OuterRadius: 6371, InnerRadius: 6400, VP: 5}}}},
+		{"zero velocity", EarthModel{Layers: []Layer{{OuterRadius: 6371, InnerRadius: 0, VP: 0}}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := c.m.Validate(); err == nil {
+				t.Error("broken model validated")
+			}
+		})
+	}
+}
+
+func TestVelocityAt(t *testing.T) {
+	m := IASP91Lite()
+	if v := m.VelocityAt(6371, WaveP); v != 5.8 {
+		t.Errorf("surface VP = %g, want 5.8", v)
+	}
+	if v := m.VelocityAt(4000, WaveP); v != 12.3 {
+		t.Errorf("lower mantle VP = %g, want 12.3", v)
+	}
+	if v := m.VelocityAt(2000, WaveS); v != 0 {
+		t.Errorf("outer core VS = %g, want 0 (fluid)", v)
+	}
+	if v := m.VelocityAt(99999, WaveP); v != 0 {
+		t.Errorf("outside the earth VP = %g, want 0", v)
+	}
+}
+
+func TestRefinePreservesStructure(t *testing.T) {
+	m := IASP91Lite().Refine(100)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Layers) <= len(IASP91Lite().Layers) {
+		t.Errorf("refinement did not add shells: %d", len(m.Layers))
+	}
+	// Refining with 0 is the identity.
+	m0 := IASP91Lite().Refine(0)
+	if len(m0.Layers) != len(IASP91Lite().Layers) {
+		t.Error("Refine(0) changed the model")
+	}
+	// Fluid layers must stay fluid.
+	for _, l := range m.Layers {
+		if hasPrefix(l.Name, "outer core") && l.VS != 0 {
+			t.Errorf("refined outer core shell has VS = %g", l.VS)
+		}
+	}
+}
+
+func TestStationNetwork(t *testing.T) {
+	st := StationNetwork(100)
+	if len(st) != 100 {
+		t.Fatalf("got %d stations", len(st))
+	}
+	for _, s := range st {
+		if s.Lat < -math.Pi/2 || s.Lat > math.Pi/2 || s.Lon < -math.Pi || s.Lon > math.Pi {
+			t.Errorf("station %s out of range: %g, %g", s.Name, s.Lat, s.Lon)
+		}
+	}
+	if StationNetwork(0) != nil {
+		t.Error("empty network not nil")
+	}
+	// Quasi-uniform: both hemispheres populated.
+	north := 0
+	for _, s := range st {
+		if s.Lat > 0 {
+			north++
+		}
+	}
+	if north < 40 || north > 60 {
+		t.Errorf("northern hemisphere has %d of 100 stations", north)
+	}
+}
+
+func TestSyntheticCatalogDeterministic(t *testing.T) {
+	cfg := CatalogConfig{Seed: 42, Events: 500}
+	a := SyntheticCatalog(cfg)
+	b := SyntheticCatalog(cfg)
+	if len(a) != 500 || len(b) != 500 {
+		t.Fatalf("catalog sizes %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("catalogs diverge at %d", i)
+		}
+	}
+	c := SyntheticCatalog(CatalogConfig{Seed: 43, Events: 500})
+	same := 0
+	for i := range a {
+		if a[i].SrcLat == c[i].SrcLat {
+			same++
+		}
+	}
+	if same > 250 {
+		t.Error("different seeds produce nearly identical catalogs")
+	}
+}
+
+func TestSyntheticCatalogShape(t *testing.T) {
+	events := SyntheticCatalog(CatalogConfig{Seed: 7, Events: 2000})
+	var shallow, sWaves int
+	for _, ev := range events {
+		if ev.SrcDepthKm < 0 || ev.SrcDepthKm > 700 {
+			t.Fatalf("event depth %g out of range", ev.SrcDepthKm)
+		}
+		if ev.SrcDepthKm < 70 {
+			shallow++
+		}
+		if ev.Wave == WaveS {
+			sWaves++
+		}
+		if math.Abs(ev.SrcLat) > math.Pi/2 {
+			t.Fatalf("latitude %g out of range", ev.SrcLat)
+		}
+	}
+	if shallow < 1000 {
+		t.Errorf("only %d/2000 shallow events; real seismicity is mostly shallow", shallow)
+	}
+	if sWaves < 400 || sWaves > 800 {
+		t.Errorf("%d/2000 S waves, want around 30%%", sWaves)
+	}
+	if SyntheticCatalog(CatalogConfig{}) != nil {
+		t.Error("zero-event catalog not nil")
+	}
+}
+
+func TestEpicentralDistance(t *testing.T) {
+	// Antipodes are pi apart.
+	if d := EpicentralDistance(0, 0, 0, math.Pi); math.Abs(d-math.Pi) > 1e-9 {
+		t.Errorf("antipodal distance = %g, want pi", d)
+	}
+	// Same point.
+	if d := EpicentralDistance(0.5, 1, 0.5, 1); d != 0 {
+		t.Errorf("self distance = %g", d)
+	}
+	// Pole to equator is pi/2.
+	if d := EpicentralDistance(math.Pi/2, 0, 0, 2); math.Abs(d-math.Pi/2) > 1e-9 {
+		t.Errorf("pole-equator distance = %g, want pi/2", d)
+	}
+}
+
+// TestEpicentralDistanceSymmetryProperty checks d(a,b) == d(b,a).
+func TestEpicentralDistanceSymmetryProperty(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		l1 := math.Mod(math.Abs(lat1), math.Pi/2)
+		l2 := math.Mod(math.Abs(lat2), math.Pi/2)
+		o1 := math.Mod(lon1, math.Pi)
+		o2 := math.Mod(lon2, math.Pi)
+		if math.IsNaN(l1 + l2 + o1 + o2) {
+			return true
+		}
+		a := EpicentralDistance(l1, o1, l2, o2)
+		b := EpicentralDistance(l2, o2, l1, o1)
+		return math.Abs(a-b) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func newTracer(t *testing.T) *Tracer {
+	t.Helper()
+	tr, err := NewTracer(IASP91Lite(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestTracerUsableStack(t *testing.T) {
+	tr := newTracer(t)
+	// Both wave types propagate through the 4 mantle/crust layers and
+	// stop at the outer core.
+	if tr.usable[WaveP] != 4 || tr.usable[WaveS] != 4 {
+		t.Errorf("usable stacks = %d (P), %d (S), want 4, 4", tr.usable[WaveP], tr.usable[WaveS])
+	}
+}
+
+func TestTraceSurfaceEventBasic(t *testing.T) {
+	tr := newTracer(t)
+	ev := Event{SrcLat: 0, SrcLon: 0, CapLat: 0, CapLon: 0.5, Wave: WaveP} // ~28.6 degrees
+	ray := tr.Trace(ev)
+	if ray.Kind != RayTurning {
+		t.Fatalf("kind = %v, want turning", ray.Kind)
+	}
+	if ray.TravelTime <= 0 {
+		t.Fatalf("travel time = %g", ray.TravelTime)
+	}
+	// Plausibility: a 28.6-degree P wave takes roughly 6 minutes in
+	// the real Earth; accept a broad window for the simplified model.
+	if ray.TravelTime < 200 || ray.TravelTime > 700 {
+		t.Errorf("travel time = %g s, implausible for 28.6 degrees", ray.TravelTime)
+	}
+	if ray.TurnRadius >= EarthRadiusKm || ray.TurnRadius <= 3482 {
+		t.Errorf("turning radius %g outside the mantle", ray.TurnRadius)
+	}
+}
+
+func TestTraceTravelTimeIncreasesWithDistance(t *testing.T) {
+	tr := newTracer(t)
+	prev := 0.0
+	for _, deg := range []float64{5, 10, 20, 30, 40, 50, 60} {
+		ev := Event{CapLon: deg * math.Pi / 180, Wave: WaveP}
+		ray := tr.Trace(ev)
+		if ray.Kind == RayFallback {
+			t.Fatalf("fallback at %g degrees", deg)
+		}
+		if ray.TravelTime <= prev {
+			t.Errorf("travel time not increasing at %g degrees: %g <= %g", deg, ray.TravelTime, prev)
+		}
+		prev = ray.TravelTime
+	}
+}
+
+func TestTraceSWaveSlowerThanP(t *testing.T) {
+	tr := newTracer(t)
+	evP := Event{CapLon: 0.4, Wave: WaveP}
+	evS := Event{CapLon: 0.4, Wave: WaveS}
+	rayP, rayS := tr.Trace(evP), tr.Trace(evS)
+	if rayS.TravelTime <= rayP.TravelTime {
+		t.Errorf("S wave (%g s) not slower than P wave (%g s)", rayS.TravelTime, rayP.TravelTime)
+	}
+}
+
+func TestTraceDeepSourceShortensTime(t *testing.T) {
+	tr := newTracer(t)
+	shallow := tr.Trace(Event{CapLon: 0.6, Wave: WaveP, SrcDepthKm: 0})
+	deep := tr.Trace(Event{CapLon: 0.6, Wave: WaveP, SrcDepthKm: 300})
+	if deep.Kind == RayFallback || shallow.Kind == RayFallback {
+		t.Fatal("unexpected fallback")
+	}
+	if deep.TravelTime >= shallow.TravelTime {
+		t.Errorf("deep source (%g s) not faster than shallow (%g s)", deep.TravelTime, shallow.TravelTime)
+	}
+}
+
+func TestTraceDirectRayForDeepNearbyEvent(t *testing.T) {
+	tr := newTracer(t)
+	// 600 km deep, captor 1 degree away: an upgoing direct ray.
+	ev := Event{SrcDepthKm: 600, CapLon: 1 * math.Pi / 180, Wave: WaveP}
+	ray := tr.Trace(ev)
+	if ray.Kind != RayDirect {
+		t.Fatalf("kind = %v, want direct", ray.Kind)
+	}
+	// Roughly 600 km at ~9-12 km/s.
+	if ray.TravelTime < 40 || ray.TravelTime > 90 {
+		t.Errorf("direct travel time = %g s, implausible", ray.TravelTime)
+	}
+}
+
+func TestTraceCoreShadowFallsBack(t *testing.T) {
+	tr := newTracer(t)
+	// 150 degrees: deep in the core shadow for mantle-turning rays.
+	ev := Event{CapLon: 150 * math.Pi / 180, Wave: WaveP}
+	ray := tr.Trace(ev)
+	if ray.Kind != RayFallback {
+		t.Fatalf("kind = %v, want fallback in the core shadow", ray.Kind)
+	}
+	if ray.TravelTime <= 0 {
+		t.Error("fallback time not positive")
+	}
+}
+
+func TestTraceLayerTimesSumToTravelTime(t *testing.T) {
+	tr := newTracer(t)
+	ray := tr.Trace(Event{CapLon: 0.5, Wave: WaveP})
+	sum := 0.0
+	for _, lt := range ray.LayerTimes {
+		if lt < 0 {
+			t.Fatalf("negative layer time %g", lt)
+		}
+		sum += lt
+	}
+	if math.Abs(sum-ray.TravelTime) > 1e-6*ray.TravelTime {
+		t.Errorf("layer times sum to %g, travel time is %g", sum, ray.TravelTime)
+	}
+}
+
+func TestTraceRefinedModelConverges(t *testing.T) {
+	coarse := newTracer(t)
+	fine, err := NewTracer(IASP91Lite(), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := Event{CapLon: 0.5, Wave: WaveP}
+	a, b := coarse.Trace(ev), fine.Trace(ev)
+	if a.Kind == RayFallback || b.Kind == RayFallback {
+		t.Fatal("unexpected fallback")
+	}
+	// The refined model interpolates velocities, so times differ, but
+	// not wildly.
+	if math.Abs(a.TravelTime-b.TravelTime) > 0.2*a.TravelTime {
+		t.Errorf("coarse %g s vs refined %g s differ too much", a.TravelTime, b.TravelTime)
+	}
+}
+
+func TestTraceAllCatalogNeverNegative(t *testing.T) {
+	tr := newTracer(t)
+	events := SyntheticCatalog(CatalogConfig{Seed: 3, Events: 300})
+	rays := tr.TraceAll(events)
+	if len(rays) != 300 {
+		t.Fatalf("traced %d rays", len(rays))
+	}
+	fallbacks := 0
+	for i, ray := range rays {
+		if ray.TravelTime < 0 || math.IsNaN(ray.TravelTime) {
+			t.Fatalf("ray %d has travel time %g", i, ray.TravelTime)
+		}
+		if ray.Kind == RayFallback {
+			fallbacks++
+		}
+	}
+	// Some events land in the core shadow, but most should trace.
+	if fallbacks > 150 {
+		t.Errorf("%d/300 fallbacks; tracer rarely succeeds", fallbacks)
+	}
+}
+
+func TestNewTracerRejectsBrokenModel(t *testing.T) {
+	if _, err := NewTracer(EarthModel{}, 0); err == nil {
+		t.Error("broken model accepted")
+	}
+}
+
+func TestSynthesizeAndInvertRecoversAnomalySigns(t *testing.T) {
+	tr, err := NewTracer(IASP91Lite(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := SyntheticCatalog(CatalogConfig{Seed: 11, Events: 1500})
+	truth, err := SynthesizeObservations(tr, events, 5, 0.03, 0.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	residuals := Residuals(tr, events)
+	if len(residuals) < 500 {
+		t.Fatalf("only %d residuals", len(residuals))
+	}
+	inv := InvertLayers(tr, residuals, 1.0)
+	if inv.RMSBefore <= 0 {
+		t.Fatal("no misfit against a perturbed model?")
+	}
+	// The mantle layers (0..3) are densely sampled; the inversion's
+	// slowness corrections there should have the right sign: a layer
+	// made faster (truth > 1) has negative residual contribution ->
+	// negative slowness update.
+	agree, checked := 0, 0
+	for l := 0; l < 4; l++ {
+		if math.Abs(truth[l]-1) < 0.005 || math.Abs(inv.SlownessUpdate[l]) < 1e-9 {
+			continue
+		}
+		checked++
+		wantNegative := truth[l] > 1
+		if (inv.SlownessUpdate[l] < 0) == wantNegative {
+			agree++
+		}
+	}
+	if checked > 0 && agree*2 < checked {
+		t.Errorf("inversion sign agreement %d/%d", agree, checked)
+	}
+	// Applying the update must reduce the RMS misfit.
+	updated := ApplyUpdate(tr, inv.SlownessUpdate)
+	res2 := Residuals(updated, events)
+	inv2 := InvertLayers(updated, res2, 1.0)
+	if inv2.RMSBefore >= inv.RMSBefore {
+		t.Errorf("update did not reduce misfit: %g -> %g", inv.RMSBefore, inv2.RMSBefore)
+	}
+}
+
+func TestSynthesizeObservationsNilTracer(t *testing.T) {
+	if _, err := SynthesizeObservations(nil, nil, 0, 0, 0); err == nil {
+		t.Error("nil tracer accepted")
+	}
+}
+
+func TestInvertLayersEmptyResiduals(t *testing.T) {
+	tr := newTracer(t)
+	inv := InvertLayers(tr, nil, 1)
+	if inv.RaysUsed != 0 || inv.RMSBefore != 0 {
+		t.Errorf("empty inversion = %+v", inv)
+	}
+	for _, u := range inv.SlownessUpdate {
+		if u != 0 {
+			t.Error("empty inversion produced nonzero updates")
+		}
+	}
+}
+
+func TestApplyUpdateClamps(t *testing.T) {
+	tr := newTracer(t)
+	huge := make([]float64, tr.Layers())
+	for i := range huge {
+		huge[i] = 100 // absurd slowness increase
+	}
+	updated := ApplyUpdate(tr, huge)
+	for i, l := range updated.model.Layers {
+		if l.VP < tr.model.Layers[i].VP/2-1e-9 {
+			t.Errorf("layer %d VP collapsed to %g", i, l.VP)
+		}
+	}
+}
+
+func TestWaveTypeString(t *testing.T) {
+	if WaveP.String() != "P" || WaveS.String() != "S" {
+		t.Error("wave type names wrong")
+	}
+}
+
+func TestRayKindString(t *testing.T) {
+	if RayTurning.String() != "turning" || RayDirect.String() != "direct" || RayFallback.String() != "fallback" {
+		t.Error("ray kind names wrong")
+	}
+}

@@ -1,0 +1,145 @@
+package seismic
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// SynthesizeObservations fills every event's ObservedTime by tracing it
+// through a perturbed copy of the model (per-layer velocity anomalies
+// up to anomalyFrac) and adding Gaussian pick noise (noiseStd seconds).
+// This produces the "recorded travel times" a tomography run fits
+// against; the inversion should then recover anomalies of the right
+// sign. It returns the perturbed velocities (per layer of the refined
+// tracer model) for verification.
+func SynthesizeObservations(t *Tracer, events []Event, seed int64, anomalyFrac, noiseStd float64) ([]float64, error) {
+	if t == nil {
+		return nil, errors.New("seismic: nil tracer")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perturbed := t.model
+	perturbed.Layers = append([]Layer(nil), t.model.Layers...)
+	truth := make([]float64, len(perturbed.Layers))
+	for i := range perturbed.Layers {
+		f := 1 + anomalyFrac*(2*rng.Float64()-1)
+		perturbed.Layers[i].VP *= f
+		if perturbed.Layers[i].VS > 0 {
+			perturbed.Layers[i].VS *= f
+		}
+		truth[i] = f
+	}
+	pt := &Tracer{model: perturbed, usable: t.usable, bisectionSteps: t.bisectionSteps}
+	for i := range events {
+		ray := pt.Trace(events[i])
+		events[i].ObservedTime = ray.TravelTime + noiseStd*rng.NormFloat64()
+	}
+	return truth, nil
+}
+
+// Residual is one event's misfit against the reference model.
+type Residual struct {
+	// EventID identifies the event.
+	EventID int64
+	// Seconds is observed minus modeled travel time.
+	Seconds float64
+	// Ray is the modeled ray (carrying the per-layer sensitivity).
+	Ray Ray
+}
+
+// Residuals traces every event against the tracer's reference model
+// and returns the travel-time misfits. Fallback rays are skipped (their
+// chord-time estimate would pollute the inversion).
+func Residuals(t *Tracer, events []Event) []Residual {
+	out := make([]Residual, 0, len(events))
+	for _, ev := range events {
+		ray := t.Trace(ev)
+		if ray.Kind == RayFallback {
+			continue
+		}
+		out = append(out, Residual{
+			EventID: ev.ID,
+			Seconds: ev.ObservedTime - ray.TravelTime,
+			Ray:     ray,
+		})
+	}
+	return out
+}
+
+// InversionResult is the outcome of one tomographic update step.
+type InversionResult struct {
+	// SlownessUpdate is the per-layer relative slowness correction
+	// (positive = the layer is slower than the reference model).
+	SlownessUpdate []float64
+	// RaysUsed counts the residuals that contributed.
+	RaysUsed int
+	// RMSBefore is the root-mean-square residual of the input.
+	RMSBefore float64
+}
+
+// InvertLayers performs one damped least-squares tomography step for a
+// 1-D layered model: each layer's relative slowness correction is the
+// sensitivity-weighted average of the residuals crossing it,
+//
+//	ds_l/s_l = sum_e (res_e * t_{e,l}) / (damping + sum_e t_{e,l} * T_e)
+//
+// where t_{e,l} is the time ray e spends in layer l and T_e its total
+// time. This is the diagonal (Jacobi) approximation of the classic
+// travel-time inversion — a faithful miniature of the "compute a new
+// velocity model that minimizes those differences" step of Section 2.1.
+func InvertLayers(t *Tracer, residuals []Residual, damping float64) InversionResult {
+	layers := t.Layers()
+	num := make([]float64, layers)
+	den := make([]float64, layers)
+	var ss float64
+	for _, r := range residuals {
+		ss += r.Seconds * r.Seconds
+		total := r.Ray.TravelTime
+		if total <= 0 {
+			continue
+		}
+		for l, tl := range r.Ray.LayerTimes {
+			if tl <= 0 {
+				continue
+			}
+			num[l] += r.Seconds * tl
+			den[l] += tl * total
+		}
+	}
+	res := InversionResult{
+		SlownessUpdate: make([]float64, layers),
+		RaysUsed:       len(residuals),
+	}
+	if len(residuals) > 0 {
+		res.RMSBefore = math.Sqrt(ss / float64(len(residuals)))
+	}
+	for l := range num {
+		res.SlownessUpdate[l] = num[l] / (damping + den[l])
+	}
+	return res
+}
+
+// ApplyUpdate returns a copy of the tracer whose layer velocities
+// incorporate the slowness update (v' = v / (1 + ds)), clamped to stay
+// within a factor 2 of the original.
+func ApplyUpdate(t *Tracer, update []float64) *Tracer {
+	model := t.model
+	model.Layers = append([]Layer(nil), t.model.Layers...)
+	for i := range model.Layers {
+		if i >= len(update) {
+			break
+		}
+		f := 1 + update[i]
+		if f < 0.5 {
+			f = 0.5
+		}
+		if f > 2 {
+			f = 2
+		}
+		model.Layers[i].VP /= f
+		if model.Layers[i].VS > 0 {
+			model.Layers[i].VS /= f
+		}
+	}
+	return &Tracer{model: model, usable: t.usable, bisectionSteps: t.bisectionSteps}
+}

@@ -1,0 +1,96 @@
+package simgrid
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// RateWindow is a time interval during which a resource runs at a
+// non-default speed factor. Factor 0.5 halves the speed (e.g. a CPU
+// sharing with a background job), factor 0 stops the resource, factor
+// 2 doubles it.
+type RateWindow struct {
+	// Start and End bound the window, in virtual seconds.
+	Start, End float64
+	// Factor multiplies the resource speed inside the window; it must
+	// be non-negative.
+	Factor float64
+}
+
+// Resource models a device (a CPU or a link) whose speed varies over
+// time: speed 1 by default, modified inside rate windows. Work is
+// measured in seconds-at-full-speed, so finishing W work started at
+// time t takes exactly W seconds when no window applies.
+type Resource struct {
+	// Name identifies the resource in errors.
+	Name    string
+	windows []RateWindow
+}
+
+// AddWindow registers a rate window. Windows may not overlap.
+func (r *Resource) AddWindow(w RateWindow) error {
+	if w.End <= w.Start {
+		return fmt.Errorf("simgrid: resource %s: window [%g, %g) is empty or inverted", r.Name, w.Start, w.End)
+	}
+	if w.Factor < 0 {
+		return fmt.Errorf("simgrid: resource %s: negative rate factor %g", r.Name, w.Factor)
+	}
+	for _, ex := range r.windows {
+		if w.Start < ex.End && ex.Start < w.End {
+			return fmt.Errorf("simgrid: resource %s: window [%g, %g) overlaps [%g, %g)",
+				r.Name, w.Start, w.End, ex.Start, ex.End)
+		}
+	}
+	r.windows = append(r.windows, w)
+	sort.Slice(r.windows, func(i, j int) bool { return r.windows[i].Start < r.windows[j].Start })
+	return nil
+}
+
+// rateAt returns the speed factor at time t and the time at which that
+// factor next changes (or +inf).
+func (r *Resource) rateAt(t float64) (rate, until float64) {
+	rate = 1
+	until = inf()
+	for _, w := range r.windows {
+		switch {
+		case t >= w.Start && t < w.End:
+			return w.Factor, w.End
+		case w.Start > t && w.Start < until:
+			until = w.Start
+		}
+	}
+	return rate, until
+}
+
+func inf() float64 { return math.Inf(1) }
+
+// FinishTime returns the virtual time at which work seconds of
+// full-speed work, started at time start, completes on this resource.
+// If the resource is stopped (factor 0) forever past some point with
+// work remaining, it returns +Inf.
+func (r *Resource) FinishTime(start, work float64) float64 {
+	if work <= 0 {
+		return start
+	}
+	t := start
+	remaining := work
+	for remaining > 0 {
+		rate, until := r.rateAt(t)
+		if rate == 0 {
+			if until >= inf() {
+				return inf()
+			}
+			t = until
+			continue
+		}
+		span := until - t
+		capacity := span * rate
+		if capacity >= remaining {
+			return t + remaining/rate
+		}
+		remaining -= capacity
+		t = until
+	}
+	return t
+}

@@ -1,0 +1,140 @@
+package simgrid
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/schedule"
+)
+
+// Noise adds reproducible multiplicative noise to every communication
+// and computation phase, modeling measurement jitter: each phase's
+// duration is multiplied by max(0.05, 1 + StdDev*N(0,1)).
+type Noise struct {
+	// Seed makes the noise reproducible.
+	Seed int64
+	// CommStdDev and CompStdDev are the relative standard deviations
+	// of communication and computation durations.
+	CommStdDev, CompStdDev float64
+}
+
+// Config describes one simulated run.
+type Config struct {
+	// Procs are the processors in service order (root last), as for
+	// the analytic solvers.
+	Procs []core.Processor
+	// Dist is the distribution to execute.
+	Dist core.Distribution
+	// CPULoad holds background-load windows per processor name: the
+	// CPU runs at Factor times its speed inside each window. This is
+	// how the sekhmet "peak load" of the paper's Figure 4 run is
+	// injected.
+	CPULoad map[string][]RateWindow
+	// LinkLoad holds bandwidth-variation windows per processor name,
+	// applied to the root-to-processor transfer.
+	LinkLoad map[string][]RateWindow
+	// Noise, when non-nil, perturbs every phase multiplicatively.
+	Noise *Noise
+}
+
+// Run simulates the scatter+compute execution and returns its timeline.
+// With no perturbations the result is exactly the analytic timeline of
+// schedule.Build (a property the tests rely on).
+func Run(cfg Config) (schedule.Timeline, error) {
+	if len(cfg.Procs) != len(cfg.Dist) {
+		return schedule.Timeline{}, fmt.Errorf("simgrid: %d processors but %d shares", len(cfg.Procs), len(cfg.Dist))
+	}
+	if err := core.ValidateProcessors(cfg.Procs); err != nil && len(cfg.Procs) > 0 {
+		return schedule.Timeline{}, err
+	}
+	if len(cfg.Procs) == 0 {
+		return schedule.Timeline{}, errors.New("simgrid: no processors")
+	}
+
+	p := len(cfg.Procs)
+	var rng *rand.Rand
+	if cfg.Noise != nil {
+		rng = rand.New(rand.NewSource(cfg.Noise.Seed))
+	}
+
+	// Build the per-processor resources.
+	cpus := make([]*Resource, p)
+	links := make([]*Resource, p)
+	for i, pr := range cfg.Procs {
+		cpus[i] = &Resource{Name: pr.Name + "/cpu"}
+		links[i] = &Resource{Name: pr.Name + "/link"}
+		for _, w := range cfg.CPULoad[pr.Name] {
+			if err := cpus[i].AddWindow(w); err != nil {
+				return schedule.Timeline{}, err
+			}
+		}
+		for _, w := range cfg.LinkLoad[pr.Name] {
+			if err := links[i].AddWindow(w); err != nil {
+				return schedule.Timeline{}, err
+			}
+		}
+	}
+
+	noiseFactor := func(std float64) float64 {
+		if rng == nil || std == 0 {
+			return 1
+		}
+		return math.Max(0.05, 1+std*rng.NormFloat64())
+	}
+
+	tl := schedule.Timeline{Procs: make([]schedule.ProcTimeline, p)}
+	eng := &Engine{}
+
+	// The single-port root: sending to processor i starts when the
+	// send to processor i-1 completes. Each send is an event chain on
+	// the engine; computes are scheduled as independent events.
+	var sendTo func(i int)
+	sendTo = func(i int) {
+		if i >= p {
+			return
+		}
+		pr := cfg.Procs[i]
+		ni := cfg.Dist[i]
+		start := eng.Now()
+		commWork := pr.Comm.Eval(ni) * noiseFactor(cfg.Noise.commStd())
+		recvEnd := links[i].FinishTime(start, commWork)
+		tl.Procs[i].Name = pr.Name
+		tl.Procs[i].Items = ni
+		tl.Procs[i].Recv = schedule.Segment{Start: start, End: recvEnd}
+		eng.At(recvEnd, func() {
+			// Reception complete: the processor starts computing and
+			// the root's port is free for the next processor.
+			compWork := pr.Comp.Eval(ni) * noiseFactor(cfg.Noise.compStd())
+			compEnd := cpus[i].FinishTime(recvEnd, compWork)
+			tl.Procs[i].Comp = schedule.Segment{Start: recvEnd, End: compEnd}
+			if compEnd > tl.Makespan {
+				tl.Makespan = compEnd
+			}
+			sendTo(i + 1)
+		})
+	}
+	eng.At(0, func() { sendTo(0) })
+	if err := eng.Run(); err != nil {
+		return schedule.Timeline{}, err
+	}
+	return tl, nil
+}
+
+// commStd is a nil-safe accessor.
+func (n *Noise) commStd() float64 {
+	if n == nil {
+		return 0
+	}
+	return n.CommStdDev
+}
+
+// compStd is a nil-safe accessor.
+func (n *Noise) compStd() float64 {
+	if n == nil {
+		return 0
+	}
+	return n.CompStdDev
+}

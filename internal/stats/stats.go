@@ -1,0 +1,184 @@
+// Package stats provides the small statistical toolbox used by the
+// calibration and experiment harnesses: summaries, relative errors, and
+// a simple linear regression for cost extrapolation.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	// N is the sample size.
+	N int
+	// Min and Max are the sample extremes.
+	Min, Max float64
+	// Mean is the arithmetic mean.
+	Mean float64
+	// StdDev is the sample standard deviation (n-1 denominator).
+	StdDev float64
+	// Median is the 50th percentile.
+	Median float64
+}
+
+// Summarize computes descriptive statistics. It returns a zero Summary
+// for an empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.StdDev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	s.Median = Percentile(xs, 50)
+	return s
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between closest ranks. It returns NaN for an empty
+// sample and clamps p into [0, 100].
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// RelativeError returns |got-want| / |want|, or |got| when want is zero.
+// It is the measure the paper uses to report the heuristic's quality
+// ("an error relative to the optimal solution of less than 6e-6").
+func RelativeError(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// Imbalance returns (max-min)/max of the finish times, the "maximum
+// difference in finish times as a fraction of the total duration"
+// reported in Section 5.2. It returns 0 for empty or all-zero input.
+func Imbalance(finishTimes []float64) float64 {
+	if len(finishTimes) == 0 {
+		return 0
+	}
+	min, max := finishTimes[0], finishTimes[0]
+	for _, t := range finishTimes {
+		if t < min {
+			min = t
+		}
+		if t > max {
+			max = t
+		}
+	}
+	if max == 0 {
+		return 0
+	}
+	return (max - min) / max
+}
+
+// LinearFit is the least-squares line y = Intercept + Slope*x.
+type LinearFit struct {
+	// Slope and Intercept are the fitted coefficients.
+	Slope, Intercept float64
+	// R2 is the coefficient of determination of the fit.
+	R2 float64
+}
+
+// FitLine fits y = a + b*x by ordinary least squares. It needs at least
+// two points with distinct x.
+func FitLine(xs, ys []float64) (LinearFit, error) {
+	if len(xs) != len(ys) {
+		return LinearFit{}, errors.New("stats: mismatched sample lengths")
+	}
+	if len(xs) < 2 {
+		return LinearFit{}, errors.New("stats: need at least two points")
+	}
+	var n, sx, sy, sxx, sxy float64
+	for i := range xs {
+		n++
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	det := n*sxx - sx*sx
+	if det == 0 {
+		return LinearFit{}, errors.New("stats: all x values identical")
+	}
+	fit := LinearFit{
+		Slope:     (n*sxy - sx*sy) / det,
+		Intercept: (sy*sxx - sx*sxy) / det,
+	}
+	// R².
+	meanY := sy / n
+	var ssTot, ssRes float64
+	for i := range xs {
+		pred := fit.Intercept + fit.Slope*xs[i]
+		ssRes += (ys[i] - pred) * (ys[i] - pred)
+		ssTot += (ys[i] - meanY) * (ys[i] - meanY)
+	}
+	if ssTot == 0 {
+		fit.R2 = 1
+	} else {
+		fit.R2 = 1 - ssRes/ssTot
+	}
+	return fit, nil
+}
+
+// FitPowerLaw fits y = k * x^e by linear regression in log-log space,
+// used to verify the empirical complexity of the dynamic programs
+// (Algorithm 1 should show e ≈ 2 in n, Algorithm 2 closer to 1).
+// All xs and ys must be strictly positive.
+func FitPowerLaw(xs, ys []float64) (k, e float64, err error) {
+	lx := make([]float64, len(xs))
+	ly := make([]float64, len(ys))
+	if len(xs) != len(ys) {
+		return 0, 0, errors.New("stats: mismatched sample lengths")
+	}
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			return 0, 0, errors.New("stats: power-law fit needs positive data")
+		}
+		lx[i] = math.Log(xs[i])
+		ly[i] = math.Log(ys[i])
+	}
+	fit, err := FitLine(lx, ly)
+	if err != nil {
+		return 0, 0, err
+	}
+	return math.Exp(fit.Intercept), fit.Slope, nil
+}

@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 {
+		t.Errorf("N = %d, want 8", s.N)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("Min, Max = %g, %g, want 2, 9", s.Min, s.Max)
+	}
+	if s.Mean != 5 {
+		t.Errorf("Mean = %g, want 5", s.Mean)
+	}
+	wantSD := math.Sqrt(32.0 / 7.0)
+	if math.Abs(s.StdDev-wantSD) > 1e-12 {
+		t.Errorf("StdDev = %g, want %g", s.StdDev, wantSD)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Errorf("Summarize(nil) = %+v, want zero value", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{3})
+	if s.Min != 3 || s.Max != 3 || s.Mean != 3 || s.StdDev != 0 || s.Median != 3 {
+		t.Errorf("Summarize single = %+v", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		p, want float64
+	}{
+		{0, 1}, {100, 5}, {50, 3}, {25, 2}, {-5, 1}, {150, 5}, {12.5, 1.5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("Percentile of empty sample is not NaN")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Percentile mutated its input: %v", xs)
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	if got := RelativeError(101, 100); math.Abs(got-0.01) > 1e-12 {
+		t.Errorf("RelativeError(101, 100) = %g, want 0.01", got)
+	}
+	if got := RelativeError(5, 0); got != 5 {
+		t.Errorf("RelativeError(5, 0) = %g, want 5", got)
+	}
+	if got := RelativeError(-3, -4); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("RelativeError(-3, -4) = %g, want 0.25", got)
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	// The paper's Fig. 3: earliest 405 s, latest 430 s -> about 6%.
+	got := Imbalance([]float64{405, 430, 415, 428})
+	want := (430.0 - 405.0) / 430.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Imbalance = %g, want %g", got, want)
+	}
+	if Imbalance(nil) != 0 {
+		t.Error("Imbalance(nil) != 0")
+	}
+	if Imbalance([]float64{0, 0}) != 0 {
+		t.Error("Imbalance of all-zero times != 0")
+	}
+}
+
+func TestFitLine(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 1 + 2x
+	fit, err := FitLine(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-2) > 1e-12 || math.Abs(fit.Intercept-1) > 1e-12 {
+		t.Errorf("fit = %+v, want slope 2 intercept 1", fit)
+	}
+	if math.Abs(fit.R2-1) > 1e-12 {
+		t.Errorf("R2 = %g, want 1", fit.R2)
+	}
+}
+
+func TestFitLineErrors(t *testing.T) {
+	if _, err := FitLine([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := FitLine([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := FitLine([]float64{2, 2}, []float64{1, 3}); err == nil {
+		t.Error("vertical data accepted")
+	}
+}
+
+func TestFitPowerLaw(t *testing.T) {
+	// y = 3 * x^2
+	xs := []float64{1, 2, 4, 8, 16}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * x * x
+	}
+	k, e, err := FitPowerLaw(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(k-3) > 1e-9 || math.Abs(e-2) > 1e-9 {
+		t.Errorf("power law fit = %g * x^%g, want 3 * x^2", k, e)
+	}
+}
+
+func TestFitPowerLawRejectsNonPositive(t *testing.T) {
+	if _, _, err := FitPowerLaw([]float64{0, 1}, []float64{1, 2}); err == nil {
+		t.Error("zero x accepted")
+	}
+	if _, _, err := FitPowerLaw([]float64{1, 2}, []float64{1, -2}); err == nil {
+		t.Error("negative y accepted")
+	}
+	if _, _, err := FitPowerLaw([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}
+
+// Property: the mean always lies between min and max.
+func TestSummarizeMeanBoundsProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, math.Mod(x, 1e12))
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Mean+1e-6 && s.Mean <= s.Max+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Imbalance is always within [0, 1] for non-negative times.
+func TestImbalanceRangeProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, math.Abs(math.Mod(x, 1e12)))
+			}
+		}
+		im := Imbalance(xs)
+		return im >= 0 && im <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

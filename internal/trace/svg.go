@@ -1,0 +1,211 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/schedule"
+)
+
+// This file renders timelines as SVG, matching the layout of the
+// paper's Figures 2-4: one group per processor along the x axis, a
+// bar for its total (finish) time with the communication part
+// highlighted, and a second bar for the amount of data it received —
+// plus a Gantt variant of Figure 1.
+
+// svgPalette holds the figure colors.
+const (
+	colorTotal = "#4878a8" // total time bars
+	colorComm  = "#d05050" // communication time
+	colorData  = "#70a870" // item counts
+	colorIdle  = "#cccccc" // idle segments in the Gantt
+	colorText  = "#222222"
+)
+
+// FigureSVG renders the paper's Figure 2-4 layout: per-processor bars
+// for total time and communication time against a left time axis, and
+// item-count bars against a right axis.
+func FigureSVG(tl schedule.Timeline, title string) string {
+	const (
+		w, h                 = 900.0, 420.0
+		marginL, marginR     = 70.0, 70.0
+		marginTop, marginBot = 50.0, 90.0
+		plotW                = w - marginL - marginR
+		plotH                = h - marginTop - marginBot
+	)
+	n := len(tl.Procs)
+	if n == 0 || tl.Makespan <= 0 {
+		return emptySVG(title)
+	}
+
+	maxItems := 1
+	for _, p := range tl.Procs {
+		if p.Items > maxItems {
+			maxItems = p.Items
+		}
+	}
+	maxTime := niceCeil(tl.Makespan)
+	maxData := niceCeil(float64(maxItems))
+
+	var sb strings.Builder
+	svgHeader(&sb, w, h, title)
+
+	// Axes.
+	fmt.Fprintf(&sb, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s"/>`+"\n",
+		marginL, marginTop, marginL, marginTop+plotH, colorText)
+	fmt.Fprintf(&sb, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s"/>`+"\n",
+		marginL, marginTop+plotH, marginL+plotW, marginTop+plotH, colorText)
+	fmt.Fprintf(&sb, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s"/>`+"\n",
+		marginL+plotW, marginTop, marginL+plotW, marginTop+plotH, colorText)
+
+	// Y ticks (time, left; items, right).
+	for i := 0; i <= 4; i++ {
+		frac := float64(i) / 4
+		y := marginTop + plotH*(1-frac)
+		fmt.Fprintf(&sb, `<text x="%g" y="%g" font-size="11" text-anchor="end" fill="%s">%.0f</text>`+"\n",
+			marginL-6, y+4, colorText, maxTime*frac)
+		fmt.Fprintf(&sb, `<text x="%g" y="%g" font-size="11" text-anchor="start" fill="%s">%.0f</text>`+"\n",
+			marginL+plotW+6, y+4, colorText, maxData*frac)
+		if i > 0 {
+			fmt.Fprintf(&sb, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#eeeeee"/>`+"\n",
+				marginL, y, marginL+plotW, y)
+		}
+	}
+	fmt.Fprintf(&sb, `<text x="%g" y="%g" font-size="12" text-anchor="middle" fill="%s" transform="rotate(-90 16 %g)">time (seconds)</text>`+"\n",
+		16.0, marginTop+plotH/2, colorText, marginTop+plotH/2)
+	fmt.Fprintf(&sb, `<text x="%g" y="%g" font-size="12" text-anchor="middle" fill="%s" transform="rotate(90 %g %g)">data (items)</text>`+"\n",
+		w-14, marginTop+plotH/2, colorText, w-14, marginTop+plotH/2)
+
+	// Bars.
+	group := plotW / float64(n)
+	barW := group * 0.26
+	for i, p := range tl.Procs {
+		x0 := marginL + group*float64(i) + group*0.12
+		// Total time bar with the comm portion stacked at its base.
+		totalH := plotH * p.Finish() / maxTime
+		commH := plotH * p.CommTime() / maxTime
+		fmt.Fprintf(&sb, `<rect x="%g" y="%g" width="%g" height="%g" fill="%s"><title>%s total %.1fs</title></rect>`+"\n",
+			x0, marginTop+plotH-totalH, barW, totalH, colorTotal, xmlEscape(p.Name), p.Finish())
+		fmt.Fprintf(&sb, `<rect x="%g" y="%g" width="%g" height="%g" fill="%s"><title>%s comm %.2fs</title></rect>`+"\n",
+			x0, marginTop+plotH-commH, barW, commH, colorComm, xmlEscape(p.Name), p.CommTime())
+		// Data bar.
+		dataH := plotH * float64(p.Items) / maxData
+		fmt.Fprintf(&sb, `<rect x="%g" y="%g" width="%g" height="%g" fill="%s"><title>%s %d items</title></rect>`+"\n",
+			x0+barW+group*0.08, marginTop+plotH-dataH, barW, dataH, colorData, xmlEscape(p.Name), p.Items)
+		// Label.
+		lx := x0 + group*0.3
+		fmt.Fprintf(&sb, `<text x="%g" y="%g" font-size="10" text-anchor="end" fill="%s" transform="rotate(-60 %g %g)">%s</text>`+"\n",
+			lx, marginTop+plotH+14, colorText, lx, marginTop+plotH+14, xmlEscape(p.Name))
+	}
+
+	// Legend.
+	legend := []struct {
+		color, label string
+	}{
+		{colorTotal, "total time"},
+		{colorComm, "comm. time"},
+		{colorData, "amount of data"},
+	}
+	lx := marginL + 10
+	for _, le := range legend {
+		fmt.Fprintf(&sb, `<rect x="%g" y="%g" width="12" height="12" fill="%s"/>`+"\n", lx, 18.0, le.color)
+		fmt.Fprintf(&sb, `<text x="%g" y="%g" font-size="12" fill="%s">%s</text>`+"\n", lx+16, 28.0, colorText, le.label)
+		lx += 130
+	}
+
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+// GanttSVG renders the Figure 1 layout: one row per processor with its
+// idle, receive and compute segments on a shared time axis.
+func GanttSVG(tl schedule.Timeline, title string) string {
+	const (
+		w                    = 900.0
+		marginL, marginR     = 110.0, 30.0
+		marginTop, marginBot = 50.0, 40.0
+		rowH, rowGap         = 26.0, 8.0
+	)
+	n := len(tl.Procs)
+	if n == 0 || tl.Makespan <= 0 {
+		return emptySVG(title)
+	}
+	h := marginTop + marginBot + float64(n)*(rowH+rowGap)
+	plotW := w - marginL - marginR
+	scale := plotW / tl.Makespan
+
+	var sb strings.Builder
+	svgHeader(&sb, w, h, title)
+	for i, p := range tl.Procs {
+		y := marginTop + float64(i)*(rowH+rowGap)
+		fmt.Fprintf(&sb, `<text x="%g" y="%g" font-size="12" text-anchor="end" fill="%s">%s</text>`+"\n",
+			marginL-8, y+rowH*0.7, colorText, xmlEscape(p.Name))
+		// Idle.
+		if p.Idle() > 0 {
+			fmt.Fprintf(&sb, `<rect x="%g" y="%g" width="%g" height="%g" fill="%s"><title>idle %.2fs</title></rect>`+"\n",
+				marginL, y, p.Idle()*scale, rowH, colorIdle, p.Idle())
+		}
+		// Receive.
+		if p.CommTime() > 0 {
+			fmt.Fprintf(&sb, `<rect x="%g" y="%g" width="%g" height="%g" fill="%s"><title>recv %.2fs</title></rect>`+"\n",
+				marginL+p.Recv.Start*scale, y, p.CommTime()*scale, rowH, colorComm, p.CommTime())
+		}
+		// Compute.
+		if p.CompTime() > 0 {
+			fmt.Fprintf(&sb, `<rect x="%g" y="%g" width="%g" height="%g" fill="%s"><title>comp %.2fs</title></rect>`+"\n",
+				marginL+p.Comp.Start*scale, y, p.CompTime()*scale, rowH, colorTotal, p.CompTime())
+		}
+	}
+	// Time axis.
+	axisY := marginTop + float64(n)*(rowH+rowGap) + 4
+	fmt.Fprintf(&sb, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s"/>`+"\n",
+		marginL, axisY, marginL+plotW, axisY, colorText)
+	for i := 0; i <= 5; i++ {
+		frac := float64(i) / 5
+		x := marginL + plotW*frac
+		fmt.Fprintf(&sb, `<text x="%g" y="%g" font-size="11" text-anchor="middle" fill="%s">%.0fs</text>`+"\n",
+			x, axisY+16, colorText, tl.Makespan*frac)
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+func svgHeader(sb *strings.Builder, w, h float64, title string) {
+	fmt.Fprintf(sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" viewBox="0 0 %g %g">`+"\n", w, h, w, h)
+	fmt.Fprintf(sb, `<rect width="%g" height="%g" fill="white"/>`+"\n", w, h)
+	fmt.Fprintf(sb, `<text x="%g" y="16" font-size="14" text-anchor="middle" fill="%s">%s</text>`+"\n",
+		w/2, colorText, xmlEscape(title))
+}
+
+func emptySVG(title string) string {
+	var sb strings.Builder
+	svgHeader(&sb, 300, 60, title)
+	sb.WriteString(`<text x="150" y="40" font-size="12" text-anchor="middle">empty timeline</text>` + "\n</svg>\n")
+	return sb.String()
+}
+
+// niceCeil rounds up to 1, 2 or 5 times a power of ten, for clean axis
+// maxima.
+func niceCeil(x float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	mag := 1.0
+	for mag*10 <= x {
+		mag *= 10
+	}
+	for mag > x {
+		mag /= 10
+	}
+	for _, m := range []float64{1, 2, 5, 10} {
+		if mag*m >= x {
+			return mag * m
+		}
+	}
+	return mag * 10
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

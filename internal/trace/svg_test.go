@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"repro/internal/schedule"
+)
+
+// wellFormed checks the SVG parses as XML.
+func wellFormed(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG is not well-formed XML: %v\n%s", err, svg)
+		}
+	}
+}
+
+func TestFigureSVGWellFormed(t *testing.T) {
+	svg := FigureSVG(timeline(t), "Figure 2: original program execution")
+	wellFormed(t, svg)
+	for _, want := range []string{"<svg", "total time", "comm. time", "amount of data", "P1", "root", "Figure 2"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("figure SVG missing %q", want)
+		}
+	}
+	// One total + one comm + one data rect per processor (3 procs),
+	// plus background and legend swatches.
+	if got := strings.Count(svg, "<rect"); got < 9 {
+		t.Errorf("figure SVG has %d rects, want at least 9", got)
+	}
+}
+
+func TestFigureSVGEmpty(t *testing.T) {
+	svg := FigureSVG(schedule.Timeline{}, "empty")
+	wellFormed(t, svg)
+	if !strings.Contains(svg, "empty timeline") {
+		t.Error("empty figure lacks a notice")
+	}
+}
+
+func TestGanttSVGWellFormed(t *testing.T) {
+	svg := GanttSVG(timeline(t), "Figure 1: the stair effect")
+	wellFormed(t, svg)
+	for _, want := range []string{"<svg", "P1", "P2", "root", "recv", "comp"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("gantt SVG missing %q", want)
+		}
+	}
+	// P2 idles (its data waits behind P1's), so there is at least one
+	// idle rect.
+	if !strings.Contains(svg, "idle") {
+		t.Error("gantt SVG shows no idle segment despite the stair")
+	}
+}
+
+func TestGanttSVGEmpty(t *testing.T) {
+	wellFormed(t, GanttSVG(schedule.Timeline{}, "empty"))
+}
+
+func TestXMLEscape(t *testing.T) {
+	svg := FigureSVG(timeline(t), `a <b> & "c"`)
+	wellFormed(t, svg)
+}
+
+func TestNiceCeil(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 1}, {0.7, 1}, {1, 1}, {1.2, 2}, {3, 5}, {7, 10}, {853, 1000}, {430, 500}, {99, 100}, {100, 100},
+	}
+	for _, c := range cases {
+		if got := niceCeil(c.in); got != c.want {
+			t.Errorf("niceCeil(%g) = %g, want %g", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+// Package trace renders scatter timelines and experiment tables as
+// text: ASCII Gantt charts (the shape of the paper's Figures 1-4),
+// per-processor summary tables, and TSV series for external plotting.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/schedule"
+)
+
+// Gantt renders the timeline as one row per processor with a shared
+// horizontal time axis of the given width: '.' marks idle time, '='
+// receiving, '#' computing. This is the picture of the paper's Figure 1
+// (the "stair effect" is the growing '.' prefix).
+func Gantt(tl schedule.Timeline, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	if tl.Makespan <= 0 || len(tl.Procs) == 0 {
+		return "(empty timeline)\n"
+	}
+	nameWidth := 0
+	for _, p := range tl.Procs {
+		if len(p.Name) > nameWidth {
+			nameWidth = len(p.Name)
+		}
+	}
+	scale := float64(width) / tl.Makespan
+	var sb strings.Builder
+	for _, p := range tl.Procs {
+		fmt.Fprintf(&sb, "%-*s |", nameWidth, p.Name)
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		fill(row, 0, p.Recv.Start*scale, '.')
+		fill(row, p.Recv.Start*scale, p.Recv.End*scale, '=')
+		fill(row, p.Comp.Start*scale, p.Comp.End*scale, '#')
+		sb.Write(row)
+		fmt.Fprintf(&sb, "| %8.1fs\n", p.Finish())
+	}
+	fmt.Fprintf(&sb, "%-*s  %s\n", nameWidth, "", axis(width, tl.Makespan))
+	return sb.String()
+}
+
+// fill paints [from, to) columns (fractional positions) with ch,
+// guaranteeing at least one cell for non-empty segments.
+func fill(row []byte, from, to float64, ch byte) {
+	if to <= from {
+		return
+	}
+	lo, hi := int(from), int(to)
+	if hi == lo {
+		hi = lo + 1
+	}
+	for i := lo; i < hi && i < len(row); i++ {
+		row[i] = ch
+	}
+}
+
+// axis renders a simple time axis legend.
+func axis(width int, makespan float64) string {
+	left := "0"
+	right := fmt.Sprintf("%.0fs", makespan)
+	if width < len(left)+len(right)+2 {
+		return right
+	}
+	return left + strings.Repeat("-", width-len(left)-len(right)) + right
+}
+
+// SummaryTable renders the per-processor numbers behind the paper's
+// bar charts: data items, communication time, idle time and total
+// (finish) time.
+func SummaryTable(tl schedule.Timeline) string {
+	rows := make([][]string, 0, len(tl.Procs))
+	for _, p := range tl.Procs {
+		rows = append(rows, []string{
+			p.Name,
+			fmt.Sprintf("%d", p.Items),
+			fmt.Sprintf("%.2f", p.CommTime()),
+			fmt.Sprintf("%.2f", p.Idle()),
+			fmt.Sprintf("%.2f", p.Finish()),
+		})
+	}
+	return Table([]string{"processor", "items", "comm(s)", "idle(s)", "total(s)"}, rows)
+}
+
+// Table renders rows under headers with column alignment. Numeric-ish
+// columns (everything except the first) are right-aligned.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			if i == 0 {
+				fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+			} else {
+				fmt.Fprintf(&sb, "%*s", widths[i], cell)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(headers)
+	total := 0
+	for i, w := range widths {
+		total += w
+		if i > 0 {
+			total += 2
+		}
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// TSV renders the timeline as tab-separated values with a header, for
+// external plotting tools.
+func TSV(tl schedule.Timeline) string {
+	var sb strings.Builder
+	sb.WriteString("processor\titems\trecv_start\trecv_end\tcomp_end\n")
+	for _, p := range tl.Procs {
+		fmt.Fprintf(&sb, "%s\t%d\t%g\t%g\t%g\n", p.Name, p.Items, p.Recv.Start, p.Recv.End, p.Comp.End)
+	}
+	return sb.String()
+}
+
+// Bars renders one horizontal bar per processor proportional to its
+// finish time, with the communication part marked '=' and computation
+// '#' — the reading of the paper's Figures 2-4 ("total time" vs
+// "comm. time" per processor).
+func Bars(tl schedule.Timeline, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	if tl.Makespan <= 0 || len(tl.Procs) == 0 {
+		return "(empty timeline)\n"
+	}
+	nameWidth := 0
+	for _, p := range tl.Procs {
+		if len(p.Name) > nameWidth {
+			nameWidth = len(p.Name)
+		}
+	}
+	scale := float64(width) / tl.Makespan
+	var sb strings.Builder
+	for _, p := range tl.Procs {
+		commCells := int(p.CommTime()*scale + 0.5)
+		idleCells := int(p.Idle()*scale + 0.5)
+		totalCells := int(p.Finish()*scale + 0.5)
+		compCells := totalCells - commCells - idleCells
+		if compCells < 0 {
+			compCells = 0
+		}
+		fmt.Fprintf(&sb, "%-*s |%s%s%s %8.1fs (%d items)\n",
+			nameWidth, p.Name,
+			strings.Repeat(".", idleCells),
+			strings.Repeat("=", commCells),
+			strings.Repeat("#", compCells),
+			p.Finish(), p.Items)
+	}
+	return sb.String()
+}

@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/schedule"
+)
+
+func timeline(t *testing.T) schedule.Timeline {
+	t.Helper()
+	procs := []core.Processor{
+		{Name: "P1", Comm: cost.Linear{PerItem: 1}, Comp: cost.Linear{PerItem: 2}},
+		{Name: "P2", Comm: cost.Linear{PerItem: 2}, Comp: cost.Linear{PerItem: 1}},
+		{Name: "root", Comm: cost.Zero, Comp: cost.Linear{PerItem: 2}},
+	}
+	tl, err := schedule.Build(procs, core.Distribution{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tl
+}
+
+func TestGanttContainsAllProcessors(t *testing.T) {
+	out := Gantt(timeline(t), 60)
+	for _, name := range []string{"P1", "P2", "root"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("Gantt missing %s:\n%s", name, out)
+		}
+	}
+	for _, marker := range []string{"=", "#", "."} {
+		if !strings.Contains(out, marker) {
+			t.Errorf("Gantt missing %q marker:\n%s", marker, out)
+		}
+	}
+}
+
+func TestGanttStairVisible(t *testing.T) {
+	out := Gantt(timeline(t), 60)
+	lines := strings.Split(out, "\n")
+	// Compare the bar regions (between the pipes): P2 idles while P1
+	// is served, P1 never idles.
+	bar := func(line string) string {
+		lo := strings.IndexByte(line, '|')
+		hi := strings.LastIndexByte(line, '|')
+		if lo < 0 || hi <= lo {
+			t.Fatalf("no bar in %q", line)
+		}
+		return line[lo+1 : hi]
+	}
+	if strings.Contains(bar(lines[0]), ".") {
+		t.Errorf("P1 has idle time:\n%s", out)
+	}
+	if !strings.Contains(bar(lines[1]), ".") {
+		t.Errorf("P2 shows no stair idle:\n%s", out)
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	out := Gantt(schedule.Timeline{}, 40)
+	if !strings.Contains(out, "empty") {
+		t.Errorf("empty timeline rendering: %q", out)
+	}
+}
+
+func TestGanttNarrowWidthClamped(t *testing.T) {
+	out := Gantt(timeline(t), 1)
+	if len(out) == 0 {
+		t.Error("no output for narrow width")
+	}
+}
+
+func TestSummaryTable(t *testing.T) {
+	out := SummaryTable(timeline(t))
+	for _, want := range []string{"processor", "items", "comm(s)", "total(s)", "P1", "root"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+	// P1's total is 6.00 (2 comm + 4 comp).
+	if !strings.Contains(out, "6.00") {
+		t.Errorf("summary missing P1's total 6.00:\n%s", out)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"name", "value"}, [][]string{{"a", "1"}, {"longname", "22"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), out)
+	}
+	if len(lines[2]) != len(lines[3]) {
+		t.Errorf("rows not aligned:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Errorf("missing separator:\n%s", out)
+	}
+}
+
+func TestTSV(t *testing.T) {
+	out := TSV(timeline(t))
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("TSV has %d lines, want 4", len(lines))
+	}
+	if lines[0] != "processor\titems\trecv_start\trecv_end\tcomp_end" {
+		t.Errorf("TSV header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "P1\t2\t0\t2\t6") {
+		t.Errorf("TSV row = %q", lines[1])
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars(timeline(t), 40)
+	if !strings.Contains(out, "items)") {
+		t.Errorf("Bars missing item counts:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("Bars has %d lines", len(lines))
+	}
+	// The longest-running processor (P2, finish 8) has the longest bar.
+	if !strings.Contains(lines[1], "#") || !strings.Contains(lines[1], "=") {
+		t.Errorf("P2 bar lacks comm/comp marks: %q", lines[1])
+	}
+}
+
+func TestBarsEmpty(t *testing.T) {
+	if out := Bars(schedule.Timeline{}, 40); !strings.Contains(out, "empty") {
+		t.Errorf("empty bars rendering: %q", out)
+	}
+}

@@ -1,0 +1,44 @@
+package transform
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzRewrite checks three properties on arbitrary source text:
+// Rewrite either fails cleanly or produces output that still parses;
+// and the transformation is idempotent (Scatterv and BalancedCounts
+// are never rewritten again).
+func FuzzRewrite(f *testing.F) {
+	f.Add(paperExample)
+	f.Add("package main\n")
+	f.Add("not go at all {{{")
+	f.Add(`package x
+import m "repro/internal/mpi"
+func f(c *m.Comm) { m.Scatter(c, nil, 0); m.Scatter(c, nil, 1) }
+`)
+	f.Add(`package x
+import "repro/internal/mpi"
+var _ = mpi.Scatter
+`)
+	f.Fuzz(func(t *testing.T, src string) {
+		res, err := Rewrite("fuzz.go", []byte(src))
+		if err != nil {
+			return // unparseable input is fine
+		}
+		if err := RewriteCheck("fuzz.go", res.Source); err != nil {
+			t.Fatalf("rewrite broke the source: %v\ninput:\n%s\noutput:\n%s", err, src, res.Source)
+		}
+		again, err := Rewrite("fuzz.go", res.Source)
+		if err != nil {
+			t.Fatalf("re-rewrite failed: %v", err)
+		}
+		if again.Rewrites != 0 {
+			t.Fatalf("rewrite not idempotent: %d more rewrites\nfirst output:\n%s", again.Rewrites, res.Source)
+		}
+		if res.Rewrites != len(res.Positions) {
+			t.Fatalf("rewrites %d != positions %d", res.Rewrites, len(res.Positions))
+		}
+		_ = strings.Contains(string(res.Source), "Scatterv")
+	})
+}

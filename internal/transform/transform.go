@@ -1,0 +1,172 @@
+// Package transform implements the paper's proposed source
+// transformation tool. Section 1 argues that replacing MPI_Scatter by
+// a cleverly parameterized MPI_Scatterv "does not require a deep
+// source code re-organization, and it can easily be automated in a
+// software tool". This package is that tool for Go programs written
+// against the internal/mpi runtime: it parses a source file, finds
+// every uniform-scatter call
+//
+//	<mpi>.Scatter(c, data, count)
+//
+// and rewrites it, in place, to the load-balanced form
+//
+//	<mpi>.Scatterv(c, data, <mpi>.BalancedCounts(c, (count)*c.Size()))
+//
+// where <mpi> is whatever name the file imports the runtime package
+// under. The rewrite is a pure expression substitution — no statements
+// move, no variables are introduced — so it preserves the surrounding
+// control flow exactly, which is the "less intrusive" property the
+// paper is after.
+package transform
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/format"
+	"go/parser"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// MPIImportPath is the import path whose Scatter calls are rewritten.
+const MPIImportPath = "repro/internal/mpi"
+
+// Result describes one file transformation.
+type Result struct {
+	// Source is the transformed file content (equal to the input when
+	// Rewrites is zero).
+	Source []byte
+	// Rewrites counts the Scatter calls that were transformed.
+	Rewrites int
+	// Positions lists the original source positions of the rewritten
+	// calls, for reporting.
+	Positions []token.Position
+}
+
+// Rewrite parses src (with the given filename for positions), rewrites
+// every uniform Scatter call, and returns the formatted result. Files
+// that do not import the MPI runtime are returned unchanged.
+func Rewrite(filename string, src []byte) (Result, error) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
+	if err != nil {
+		return Result{}, fmt.Errorf("transform: parse %s: %w", filename, err)
+	}
+
+	alias := mpiAlias(file)
+	if alias == "" {
+		return Result{Source: src}, nil
+	}
+
+	res := Result{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !isScatterCall(call, alias) || len(call.Args) != 3 {
+			return true
+		}
+		res.Positions = append(res.Positions, fset.Position(call.Pos()))
+		rewriteCall(call, alias)
+		res.Rewrites++
+		return true
+	})
+
+	var buf bytes.Buffer
+	if err := format.Node(&buf, fset, file); err != nil {
+		return Result{}, fmt.Errorf("transform: print %s: %w", filename, err)
+	}
+	res.Source = buf.Bytes()
+	return res, nil
+}
+
+// mpiAlias returns the local name under which the file imports the MPI
+// runtime, or "" if it does not import it (dot imports are skipped: a
+// bare Scatter identifier cannot be attributed safely without full
+// type checking).
+func mpiAlias(file *ast.File) string {
+	for _, imp := range file.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || path != MPIImportPath {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "." || imp.Name.Name == "_" {
+				return ""
+			}
+			return imp.Name.Name
+		}
+		// Default package name: the path's last element.
+		if i := strings.LastIndex(path, "/"); i >= 0 {
+			return path[i+1:]
+		}
+		return path
+	}
+	return ""
+}
+
+// isScatterCall reports whether call is <alias>.Scatter(...) — possibly
+// with explicit type arguments, <alias>.Scatter[T](...).
+func isScatterCall(call *ast.CallExpr, alias string) bool {
+	fun := call.Fun
+	// Unwrap explicit instantiation: Scatter[T].
+	if idx, ok := fun.(*ast.IndexExpr); ok {
+		fun = idx.X
+	}
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Scatter" {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	return ok && pkg.Name == alias && pkg.Obj == nil
+}
+
+// rewriteCall mutates <alias>.Scatter(c, data, count) into
+// <alias>.Scatterv(c, data, <alias>.BalancedCounts(c, (count)*c.Size())).
+// Shared sub-expressions (the comm argument) are reused verbatim;
+// go/format prints a node appearing twice without trouble.
+func rewriteCall(call *ast.CallExpr, alias string) {
+	comm := call.Args[0]
+	data := call.Args[1]
+	count := call.Args[2]
+
+	// Rename the function, preserving explicit type arguments.
+	switch fun := call.Fun.(type) {
+	case *ast.IndexExpr:
+		fun.X.(*ast.SelectorExpr).Sel = ast.NewIdent("Scatterv")
+	case *ast.SelectorExpr:
+		fun.Sel = ast.NewIdent("Scatterv")
+	}
+
+	// (count) * comm.Size()
+	total := &ast.BinaryExpr{
+		X:  &ast.ParenExpr{X: count},
+		Op: token.MUL,
+		Y: &ast.CallExpr{
+			Fun: &ast.SelectorExpr{X: comm, Sel: ast.NewIdent("Size")},
+		},
+	}
+	// alias.BalancedCounts(comm, total)
+	counts := &ast.CallExpr{
+		Fun: &ast.SelectorExpr{
+			X:   ast.NewIdent(alias),
+			Sel: ast.NewIdent("BalancedCounts"),
+		},
+		Args: []ast.Expr{comm, total},
+	}
+	call.Args = []ast.Expr{comm, data, counts}
+}
+
+// RewriteCheck verifies that a transformed file still parses — a
+// cheap sanity gate the CLI runs before overwriting anything.
+func RewriteCheck(filename string, src []byte) error {
+	fset := token.NewFileSet()
+	_, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
+	if err != nil {
+		return fmt.Errorf("transform: result does not parse: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,234 @@
+package transform
+
+import (
+	"strings"
+	"testing"
+)
+
+const paperExample = `package main
+
+import (
+	"repro/internal/mpi"
+)
+
+// The paper's pseudo-code, in Go:
+//
+//	if (rank = ROOT) raydata <- read n lines from data file;
+//	MPI_Scatter(raydata, n/P, ..., rbuff, ..., ROOT, MPI_COMM_WORLD);
+//	compute_work(rbuff);
+func run(c *mpi.Comm, raydata []float64, n int) error {
+	rbuff, err := mpi.Scatter(c, raydata, n/c.Size())
+	if err != nil {
+		return err
+	}
+	c.ChargeItems(len(rbuff))
+	return nil
+}
+`
+
+func TestRewritePaperExample(t *testing.T) {
+	res, err := Rewrite("main.go", []byte(paperExample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rewrites != 1 {
+		t.Fatalf("rewrites = %d, want 1", res.Rewrites)
+	}
+	out := string(res.Source)
+	if !strings.Contains(out, "mpi.Scatterv(c, raydata, mpi.BalancedCounts(c, (n/c.Size())*c.Size()))") {
+		t.Errorf("transformed call missing:\n%s", out)
+	}
+	if strings.Contains(out, "mpi.Scatter(") {
+		t.Errorf("uniform scatter survived:\n%s", out)
+	}
+	if err := RewriteCheck("main.go", res.Source); err != nil {
+		t.Errorf("transformed source invalid: %v", err)
+	}
+	// The surrounding statements are untouched.
+	for _, keep := range []string{"rbuff, err :=", "if err != nil", "c.ChargeItems(len(rbuff))"} {
+		if !strings.Contains(out, keep) {
+			t.Errorf("surrounding code disturbed, missing %q:\n%s", keep, out)
+		}
+	}
+}
+
+func TestRewriteReportsPositions(t *testing.T) {
+	res, err := Rewrite("main.go", []byte(paperExample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Positions) != 1 {
+		t.Fatalf("positions = %v", res.Positions)
+	}
+	if res.Positions[0].Line != 13 {
+		t.Errorf("rewrite reported at line %d, want 13", res.Positions[0].Line)
+	}
+}
+
+func TestRewriteAliasImport(t *testing.T) {
+	src := `package main
+
+import mp "repro/internal/mpi"
+
+func run(c *mp.Comm, data []int) {
+	buf, _ := mp.Scatter(c, data, 4)
+	_ = buf
+}
+`
+	res, err := Rewrite("main.go", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rewrites != 1 {
+		t.Fatalf("rewrites = %d, want 1", res.Rewrites)
+	}
+	if !strings.Contains(string(res.Source), "mp.Scatterv(c, data, mp.BalancedCounts(c, (4)*c.Size()))") {
+		t.Errorf("aliased rewrite wrong:\n%s", res.Source)
+	}
+}
+
+func TestRewriteExplicitTypeArgument(t *testing.T) {
+	src := `package main
+
+import "repro/internal/mpi"
+
+func run(c *mpi.Comm) {
+	buf, _ := mpi.Scatter[int](c, nil, 2)
+	_ = buf
+}
+`
+	res, err := Rewrite("main.go", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rewrites != 1 {
+		t.Fatalf("rewrites = %d, want 1", res.Rewrites)
+	}
+	if !strings.Contains(string(res.Source), "mpi.Scatterv[int](c, nil, mpi.BalancedCounts(c, (2)*c.Size()))") {
+		t.Errorf("instantiated rewrite wrong:\n%s", res.Source)
+	}
+}
+
+func TestRewriteLeavesOtherPackagesAlone(t *testing.T) {
+	src := `package main
+
+import (
+	"repro/internal/mpi"
+	other "example.com/fake/mpi2"
+)
+
+func run(c *mpi.Comm) {
+	other.Scatter(1, 2, 3)
+	morething.Scatter(4, 5, 6)
+}
+`
+	res, err := Rewrite("main.go", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rewrites != 0 {
+		t.Errorf("rewrote %d foreign Scatter calls", res.Rewrites)
+	}
+}
+
+func TestRewriteNoMPIImportIsIdentity(t *testing.T) {
+	src := `package main
+
+func Scatter(a, b, c int) int { return a + b + c }
+
+func main() { Scatter(1, 2, 3) }
+`
+	res, err := Rewrite("main.go", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rewrites != 0 {
+		t.Errorf("rewrote %d calls in an MPI-free file", res.Rewrites)
+	}
+	if string(res.Source) != src {
+		t.Errorf("MPI-free file modified:\n%s", res.Source)
+	}
+}
+
+func TestRewriteSkipsDotImports(t *testing.T) {
+	src := `package main
+
+import . "repro/internal/mpi"
+
+func run(c *Comm) {
+	Scatter(c, []int(nil), 2)
+}
+`
+	res, err := Rewrite("main.go", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rewrites != 0 {
+		t.Error("dot-imported Scatter rewritten without type information")
+	}
+}
+
+func TestRewriteSkipsShadowedIdentifier(t *testing.T) {
+	src := `package main
+
+import "repro/internal/mpi"
+
+type fake struct{}
+
+func (fake) Scatter(a, b, c int) {}
+
+func run(c *mpi.Comm) {
+	mpi := fake{}
+	mpi.Scatter(1, 2, 3)
+}
+`
+	res, err := Rewrite("main.go", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rewrites != 0 {
+		t.Errorf("rewrote a call on a local variable shadowing the import")
+	}
+}
+
+func TestRewriteMultipleCalls(t *testing.T) {
+	src := `package main
+
+import "repro/internal/mpi"
+
+func run(c *mpi.Comm, a, b []int) {
+	x, _ := mpi.Scatter(c, a, 10)
+	y, _ := mpi.Scatter(c, b, 20)
+	_, _ = x, y
+}
+`
+	res, err := Rewrite("main.go", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rewrites != 2 {
+		t.Fatalf("rewrites = %d, want 2", res.Rewrites)
+	}
+}
+
+func TestRewriteParseError(t *testing.T) {
+	if _, err := Rewrite("broken.go", []byte("package \nfunc {")); err == nil {
+		t.Error("broken source accepted")
+	}
+}
+
+func TestRewriteWrongArityLeftAlone(t *testing.T) {
+	src := `package main
+
+import "repro/internal/mpi"
+
+var f = mpi.Scatter // method value, not a call
+`
+	res, err := Rewrite("main.go", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rewrites != 0 {
+		t.Error("non-call reference rewritten")
+	}
+}

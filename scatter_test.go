@@ -1,0 +1,235 @@
+package scatter
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func demoProcs() []Processor {
+	return []Processor{
+		{Name: "fast", Comm: LinearCost(1e-5), Comp: LinearCost(0.005)},
+		{Name: "slow", Comm: LinearCost(8e-5), Comp: LinearCost(0.016)},
+		{Name: "root", Comm: FreeCost(), Comp: LinearCost(0.009)},
+	}
+}
+
+func TestBalancePicksLinearSolver(t *testing.T) {
+	res, err := Balance(demoProcs(), 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Distribution.Validate(3, 10000); err != nil {
+		t.Fatal(err)
+	}
+	uni := Makespan(demoProcs(), Uniform(3, 10000))
+	if res.Makespan >= uni {
+		t.Errorf("balanced %g not better than uniform %g", res.Makespan, uni)
+	}
+}
+
+func TestBalanceAffineRoute(t *testing.T) {
+	procs := []Processor{
+		{Name: "a", Comm: AffineCost(0.5, 1e-4), Comp: AffineCost(0.1, 0.01)},
+		{Name: "root", Comm: FreeCost(), Comp: LinearCost(0.01)},
+	}
+	res, err := Balance(procs, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Within the Eq. (4) guarantee of the exact optimum.
+	opt, err := BalanceExact(procs, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan > opt.Makespan+GuaranteeBound(procs)+1e-9 {
+		t.Errorf("affine route outside the guarantee: %g vs %g + %g",
+			res.Makespan, opt.Makespan, GuaranteeBound(procs))
+	}
+}
+
+func TestBalanceIncreasingRoute(t *testing.T) {
+	procs := []Processor{
+		{Name: "table", Comm: TableCost([]float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512}, true), Comp: LinearCost(1)},
+		{Name: "root", Comm: FreeCost(), Comp: LinearCost(1)},
+	}
+	res, err := Balance(procs, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := BalanceExact(procs, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != opt.Makespan {
+		t.Errorf("increasing route %g != exact %g", res.Makespan, opt.Makespan)
+	}
+}
+
+func TestBalanceGeneralRoute(t *testing.T) {
+	weird := func(x int) float64 { return math.Abs(math.Sin(float64(x))) * 10 }
+	procs := []Processor{
+		{Name: "weird", Comm: LinearCost(0.1), Comp: costFunc(weird)},
+		{Name: "root", Comm: FreeCost(), Comp: LinearCost(1)},
+	}
+	res, err := Balance(procs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := core.BruteForce(procs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != opt.Makespan {
+		t.Errorf("general route %g != brute force %g", res.Makespan, opt.Makespan)
+	}
+}
+
+// costFunc adapts a function for the general-route test.
+type costFunc func(x int) float64
+
+func (f costFunc) Eval(x int) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return f(x)
+}
+
+func TestAllSolversAgreeWithinGuarantee(t *testing.T) {
+	procs := demoProcs()
+	n := 5000
+	exact, err := BalanceExact(procs, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := BalanceDP(procs, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dp.Makespan != exact.Makespan {
+		t.Errorf("Algorithm 2 %g != Algorithm 1 %g", dp.Makespan, exact.Makespan)
+	}
+	bound := GuaranteeBound(procs)
+	for name, solve := range map[string]func([]Processor, int) (Result, error){
+		"heuristic": BalanceHeuristic,
+		"linear":    BalanceLinear,
+	} {
+		res, err := solve(procs, n)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Makespan < exact.Makespan-1e-9 || res.Makespan > exact.Makespan+bound+1e-9 {
+			t.Errorf("%s makespan %g outside [optimal, optimal+bound] = [%g, %g]",
+				name, res.Makespan, exact.Makespan, exact.Makespan+bound)
+		}
+	}
+}
+
+func TestOrderPolicy(t *testing.T) {
+	procs := []Processor{
+		{Name: "slowlink", Comm: LinearCost(3), Comp: LinearCost(1)},
+		{Name: "fastlink", Comm: LinearCost(1), Comp: LinearCost(1)},
+		{Name: "root", Comm: FreeCost(), Comp: LinearCost(1)},
+	}
+	ordered := Order(procs)
+	if ordered[0].Name != "fastlink" || ordered[2].Name != "root" {
+		t.Errorf("Order = [%s %s %s]", ordered[0].Name, ordered[1].Name, ordered[2].Name)
+	}
+	if Order(nil) != nil {
+		t.Error("Order(nil) != nil")
+	}
+}
+
+func TestPredict(t *testing.T) {
+	procs := demoProcs()
+	res, err := Balance(procs, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := Predict(procs, res.Distribution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tl.Makespan-res.Makespan) > 1e-9 {
+		t.Errorf("predicted makespan %g != result %g", tl.Makespan, res.Makespan)
+	}
+}
+
+func TestTable1Facade(t *testing.T) {
+	p := Table1()
+	procs, err := PlatformProcessors(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(procs) != 16 {
+		t.Fatalf("Table 1 has %d processors", len(procs))
+	}
+	res, err := Balance(procs, 817101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's Figure 3 band: 405-430 s.
+	if res.Makespan < 380 || res.Makespan < 0 || res.Makespan > 450 {
+		t.Errorf("Table 1 balanced makespan = %g s, paper band is 405-430 s", res.Makespan)
+	}
+}
+
+func TestLoadPlatform(t *testing.T) {
+	data := []byte(`{
+		"name": "demo", "root": "r",
+		"machines": [
+			{"name": "r", "cpus": 1, "beta": 0.01, "alpha": 0},
+			{"name": "w", "cpus": 2, "beta": 0.005, "alpha": 1e-5}
+		]
+	}`)
+	p, err := LoadPlatform(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs, err := PlatformProcessors(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(procs) != 3 {
+		t.Errorf("got %d processors, want 3", len(procs))
+	}
+	if _, err := LoadPlatform([]byte("not json")); err == nil {
+		t.Error("garbage platform accepted")
+	}
+}
+
+func TestBalanceRejectsBadInput(t *testing.T) {
+	if _, err := Balance(nil, 10); err == nil {
+		t.Error("empty processor list accepted")
+	}
+	if _, err := Balance(demoProcs(), -5); err == nil {
+		t.Error("negative n accepted")
+	}
+}
+
+func TestBalanceMultiRound(t *testing.T) {
+	procs := []Processor{
+		{Name: "w1", Comm: LinearCost(0.5), Comp: LinearCost(1)},
+		{Name: "w2", Comm: LinearCost(0.5), Comp: LinearCost(1)},
+		{Name: "root", Comm: FreeCost(), Comp: LinearCost(1)},
+	}
+	one, err := BalanceMultiRound(procs, 120, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	three, err := BalanceMultiRound(procs, 120, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if three.Totals.Sum() != 120 {
+		t.Errorf("3-round totals sum to %d", three.Totals.Sum())
+	}
+	if three.Makespan > one.Makespan+1e-9 {
+		t.Errorf("3 rounds (%g) worse than 1 round (%g) on a comm-bound grid",
+			three.Makespan, one.Makespan)
+	}
+	if _, err := BalanceMultiRound(procs, 10, 0); err == nil {
+		t.Error("zero rounds accepted")
+	}
+}
