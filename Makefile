@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build vet test race bench bench-fault figures ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+# Regenerate BENCH_fault.json (fault-tolerant scatter makespans under
+# no faults / one transient drop / one permanent crash).
+bench-fault:
+	$(GO) test -run '^$$' -bench BenchmarkFaultScatter -benchtime 1x .
+
+# Regenerate figures/fault.svg alongside the demo's console report.
+figures:
+	$(GO) run ./examples/faultdemo
+
+ci: vet build race

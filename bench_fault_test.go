@@ -1,0 +1,122 @@
+package scatter
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/mpi"
+)
+
+// faultScenario is one failure regime of the fault-tolerance benchmark.
+type faultScenario struct {
+	Name string `json:"name"`
+	plan func(procs []core.Processor) *fault.Plan
+}
+
+// faultBenchResult is one row of BENCH_fault.json.
+type faultBenchResult struct {
+	Name     string  `json:"name"`
+	Makespan float64 `json:"makespan_virtual_s"`
+	Retries  int     `json:"retries"`
+	Timeouts int     `json:"timeouts"`
+	Rounds   int     `json:"rounds"`
+	Failed   int     `json:"failed_ranks"`
+}
+
+// BenchmarkFaultScatter measures the fault-tolerant scatter's makespan
+// on the Table 1 grid at 100k items under three regimes: no faults
+// (the retry machinery must cost nothing), one transient link drop
+// (one retry), and one permanent crash (declare dead + re-solve +
+// rebalance round). It writes the virtual-time results to
+// BENCH_fault.json; regenerate with `make bench-fault`.
+func BenchmarkFaultScatter(b *testing.B) {
+	const n = 100000
+	procs := table1Procs(b)
+	root := len(procs) - 1
+	res, err := core.SolveLinear(procs, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	counts := []int(res.Distribution)
+	pol := fault.Policy{
+		Timeout:    0.5,
+		MaxRetries: 3,
+		Backoff:    fault.Backoff{Base: 0.25, Factor: 2, Cap: 2},
+	}
+	// Rank 2 (sekhmet in descending-bandwidth order) is served early
+	// enough that both scenarios hit its first transfer.
+	scenarios := []faultScenario{
+		{Name: "none", plan: func([]core.Processor) *fault.Plan { return nil }},
+		{Name: "transient-drop", plan: func([]core.Processor) *fault.Plan {
+			return fault.MustPlan(fault.Fault{Kind: fault.LinkDrop, Rank: 2, Start: 0, End: 1.5})
+		}},
+		{Name: "permanent-crash", plan: func([]core.Processor) *fault.Plan {
+			return fault.MustPlan(fault.Fault{Kind: fault.Crash, Rank: 2, Start: 1})
+		}},
+	}
+
+	results := make([]faultBenchResult, 0, len(scenarios))
+	for _, sc := range scenarios {
+		b.Run(sc.Name, func(b *testing.B) {
+			var row faultBenchResult
+			for i := 0; i < b.N; i++ {
+				world, err := mpi.NewWorld(procs, root)
+				if err != nil {
+					b.Fatal(err)
+				}
+				world.SetFaultPlan(sc.plan(procs), pol)
+				reports := make([]*mpi.ScatterReport, len(procs))
+				data := make([]int32, n)
+				stats, err := mpi.Run(world, func(c *mpi.Comm) error {
+					var in []int32
+					if c.IsRoot() {
+						in = data
+					}
+					buf, rep, err := mpi.FaultTolerantScatterv(c, in, counts)
+					reports[c.Rank()] = rep
+					if err != nil {
+						return nil // dead rank: survivors carry on
+					}
+					c.ChargeItems(len(buf))
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep := reports[root]
+				if rep.Final.Sum() != n {
+					b.Fatalf("%s: delivered %d of %d items", sc.Name, rep.Final.Sum(), n)
+				}
+				row = faultBenchResult{
+					Name:     sc.Name,
+					Makespan: mpi.Makespan(stats),
+					Retries:  rep.Retries,
+					Timeouts: rep.Timeouts,
+					Rounds:   rep.Rounds,
+					Failed:   len(rep.Failed),
+				}
+				b.ReportMetric(row.Makespan, "virtual_s")
+			}
+			results = append(results, row)
+		})
+	}
+
+	if len(results) == len(scenarios) {
+		doc := struct {
+			Benchmark string             `json:"benchmark"`
+			Platform  string             `json:"platform"`
+			Items     int                `json:"items"`
+			Scenarios []faultBenchResult `json:"scenarios"`
+		}{"FaultScatter", "table1-descending-bandwidth", n, results}
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_fault.json", append(buf, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,252 @@
+// Package fault injects deterministic, seeded failures into the
+// virtual-time runtime: link drops and timeouts (per-rank,
+// per-time-window), transient slowdowns, and permanent rank crashes.
+//
+// The paper's premise is that grids are heterogeneous; its follow-up
+// literature (Marchal et al. 2006, Gallet/Robert/Vivien 2007) drops the
+// implicit assumption that they are also reliable. A Plan describes
+// what goes wrong and when; internal/mpi consults it during
+// fault-tolerant collectives, internal/simgrid converts it into rate
+// windows, and the Backoff/Policy types govern how the root retries
+// lost sends before declaring a rank dead and rebalancing its share
+// over the survivors (the Theorem 2 machinery re-applied to a subset).
+//
+// Everything is a pure function of its inputs and a seed, so every
+// failure scenario replays identically — the property the tests and
+// benchmarks rely on.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Kind classifies an injected fault.
+type Kind int
+
+const (
+	// Crash kills a rank permanently at time Start. The rank never
+	// receives (or acknowledges) anything from then on.
+	Crash Kind = iota
+	// LinkDrop makes every transfer to the rank that overlaps
+	// [Start, End) be lost: the sender sees a timeout, not an error.
+	LinkDrop
+	// SlowLink multiplies the duration of transfers to the rank
+	// starting inside [Start, End) by Factor (a transient slowdown).
+	SlowLink
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Crash:
+		return "crash"
+	case LinkDrop:
+		return "link-drop"
+	case SlowLink:
+		return "slow-link"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Fault is one injected failure. Rank always refers to the top-level
+// world's rank numbering, even when a plan is consulted from a
+// sub-communicator.
+type Fault struct {
+	// Kind classifies the fault.
+	Kind Kind
+	// Rank is the afflicted rank (top-level numbering).
+	Rank int
+	// Start is the crash instant (Crash) or the window start
+	// (LinkDrop, SlowLink), in virtual seconds.
+	Start float64
+	// End is the window end, exclusive; ignored for Crash.
+	End float64
+	// Factor is the transfer-duration multiplier of a SlowLink fault;
+	// it must be >= 1. Ignored for the other kinds.
+	Factor float64
+}
+
+// validate checks one fault's invariants.
+func (f Fault) validate() error {
+	if f.Rank < 0 {
+		return fmt.Errorf("fault: negative rank %d", f.Rank)
+	}
+	if math.IsNaN(f.Start) || math.IsInf(f.Start, 0) || f.Start < 0 {
+		return fmt.Errorf("fault: %s on rank %d has start %g", f.Kind, f.Rank, f.Start)
+	}
+	switch f.Kind {
+	case Crash:
+		return nil
+	case LinkDrop, SlowLink:
+		if math.IsNaN(f.End) || f.End <= f.Start {
+			return fmt.Errorf("fault: %s window [%g, %g) on rank %d is empty or inverted",
+				f.Kind, f.Start, f.End, f.Rank)
+		}
+		if f.Kind == SlowLink && (math.IsNaN(f.Factor) || f.Factor < 1) {
+			return fmt.Errorf("fault: slow-link factor %g on rank %d, want >= 1", f.Factor, f.Rank)
+		}
+		return nil
+	default:
+		return fmt.Errorf("fault: unknown kind %d", int(f.Kind))
+	}
+}
+
+// Plan is a deterministic set of faults. The zero of the type — and a
+// nil *Plan — is the empty plan: every query reports "no fault".
+type Plan struct {
+	faults []Fault
+}
+
+// NewPlan validates the faults and assembles a plan.
+func NewPlan(faults ...Fault) (*Plan, error) {
+	for i, f := range faults {
+		if err := f.validate(); err != nil {
+			return nil, fmt.Errorf("fault: fault %d: %w", i, err)
+		}
+	}
+	return &Plan{faults: append([]Fault(nil), faults...)}, nil
+}
+
+// MustPlan is NewPlan for tests and demos; it panics on invalid faults.
+func MustPlan(faults ...Fault) *Plan {
+	p, err := NewPlan(faults...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Faults returns a copy of the plan's faults.
+func (p *Plan) Faults() []Fault {
+	if p == nil {
+		return nil
+	}
+	return append([]Fault(nil), p.faults...)
+}
+
+// HasFaults reports whether the plan injects anything at all.
+func (p *Plan) HasFaults() bool { return p != nil && len(p.faults) > 0 }
+
+// CrashTime returns the earliest crash instant of the rank, if any.
+func (p *Plan) CrashTime(rank int) (float64, bool) {
+	if p == nil {
+		return 0, false
+	}
+	t, ok := math.Inf(1), false
+	for _, f := range p.faults {
+		if f.Kind == Crash && f.Rank == rank && f.Start < t {
+			t, ok = f.Start, true
+		}
+	}
+	return t, ok
+}
+
+// Crashed reports whether the rank is dead at time `at`.
+func (p *Plan) Crashed(rank int, at float64) bool {
+	t, ok := p.CrashTime(rank)
+	return ok && at >= t
+}
+
+// DropsDuring reports whether a transfer to the rank spanning
+// [start, end] overlaps a link-drop window — i.e. whether the send is
+// lost.
+func (p *Plan) DropsDuring(rank int, start, end float64) bool {
+	if p == nil {
+		return false
+	}
+	for _, f := range p.faults {
+		if f.Kind == LinkDrop && f.Rank == rank && f.Start <= end && start < f.End {
+			return true
+		}
+	}
+	return false
+}
+
+// Slowdown returns the transfer-duration multiplier for a send to the
+// rank starting at time `at`: the product of the active slow-link
+// factors, and 1 when none applies.
+func (p *Plan) Slowdown(rank int, at float64) float64 {
+	if p == nil {
+		return 1
+	}
+	factor := 1.0
+	for _, f := range p.faults {
+		if f.Kind == SlowLink && f.Rank == rank && at >= f.Start && at < f.End {
+			factor *= f.Factor
+		}
+	}
+	return factor
+}
+
+// RandomConfig parameterizes a seeded random plan: each non-root rank
+// independently draws at most one crash and at most one link fault
+// (drop or slowdown, drops taking precedence), so same-rank windows
+// never overlap and the plan converts cleanly to simulator windows.
+type RandomConfig struct {
+	// Seed makes the plan reproducible.
+	Seed int64
+	// Ranks is the world size.
+	Ranks int
+	// Root is the rank exempt from faults (the data root); use -1 to
+	// allow faults everywhere.
+	Root int
+	// Horizon bounds all fault times: crashes and window starts fall in
+	// [0, Horizon).
+	Horizon float64
+	// CrashProb, DropProb and SlowProb are the per-rank probabilities
+	// of each fault kind.
+	CrashProb, DropProb, SlowProb float64
+	// MaxSlow bounds slow-link factors, drawn uniformly in
+	// [1.5, MaxSlow] (values below 1.5 are raised to 1.5).
+	MaxSlow float64
+	// WindowFrac sizes drop/slow windows as a fraction of the horizon
+	// (default 0.25).
+	WindowFrac float64
+}
+
+// Random draws a deterministic plan from the config. Two calls with
+// the same config return identical plans.
+func Random(cfg RandomConfig) *Plan {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	horizon := cfg.Horizon
+	if horizon <= 0 {
+		horizon = 1
+	}
+	frac := cfg.WindowFrac
+	if frac <= 0 || frac > 1 {
+		frac = 0.25
+	}
+	maxSlow := math.Max(cfg.MaxSlow, 1.5)
+	var faults []Fault
+	for r := 0; r < cfg.Ranks; r++ {
+		if r == cfg.Root {
+			continue
+		}
+		if rng.Float64() < cfg.CrashProb {
+			faults = append(faults, Fault{Kind: Crash, Rank: r, Start: rng.Float64() * horizon})
+		}
+		switch {
+		case rng.Float64() < cfg.DropProb:
+			start := rng.Float64() * horizon
+			faults = append(faults, Fault{
+				Kind: LinkDrop, Rank: r,
+				Start: start,
+				End:   start + (0.1+0.9*rng.Float64())*frac*horizon,
+			})
+		case rng.Float64() < cfg.SlowProb:
+			start := rng.Float64() * horizon
+			faults = append(faults, Fault{
+				Kind: SlowLink, Rank: r,
+				Start:  start,
+				End:    start + (0.1+0.9*rng.Float64())*frac*horizon,
+				Factor: 1.5 + (maxSlow-1.5)*rng.Float64(),
+			})
+		}
+	}
+	sort.SliceStable(faults, func(i, j int) bool { return faults[i].Start < faults[j].Start })
+	return &Plan{faults: faults}
+}

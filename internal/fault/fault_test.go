@@ -1,0 +1,181 @@
+package fault
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/monitor"
+)
+
+func TestNewPlanValidation(t *testing.T) {
+	bad := []Fault{
+		{Kind: Crash, Rank: -1, Start: 0},
+		{Kind: Crash, Rank: 0, Start: -1},
+		{Kind: Crash, Rank: 0, Start: math.NaN()},
+		{Kind: LinkDrop, Rank: 0, Start: 2, End: 1},
+		{Kind: LinkDrop, Rank: 0, Start: 1, End: 1},
+		{Kind: SlowLink, Rank: 0, Start: 0, End: 1, Factor: 0.5},
+		{Kind: Kind(99), Rank: 0, Start: 0},
+	}
+	for i, f := range bad {
+		if _, err := NewPlan(f); err == nil {
+			t.Errorf("fault %d (%+v) accepted", i, f)
+		}
+	}
+	if _, err := NewPlan(
+		Fault{Kind: Crash, Rank: 1, Start: 5},
+		Fault{Kind: LinkDrop, Rank: 2, Start: 0, End: 3},
+		Fault{Kind: SlowLink, Rank: 3, Start: 1, End: 2, Factor: 4},
+	); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+}
+
+func TestNilPlanIsEmpty(t *testing.T) {
+	var p *Plan
+	if p.HasFaults() {
+		t.Error("nil plan has faults")
+	}
+	if p.Crashed(0, 1e9) {
+		t.Error("nil plan crashed a rank")
+	}
+	if p.DropsDuring(0, 0, 1e9) {
+		t.Error("nil plan dropped a send")
+	}
+	if got := p.Slowdown(0, 5); got != 1 {
+		t.Errorf("nil plan slowdown = %g, want 1", got)
+	}
+	if _, ok := p.CrashTime(0); ok {
+		t.Error("nil plan has a crash time")
+	}
+	if p.Faults() != nil {
+		t.Error("nil plan returned faults")
+	}
+}
+
+func TestPlanQueries(t *testing.T) {
+	p := MustPlan(
+		Fault{Kind: Crash, Rank: 1, Start: 10},
+		Fault{Kind: Crash, Rank: 1, Start: 7}, // earliest crash wins
+		Fault{Kind: LinkDrop, Rank: 2, Start: 3, End: 6},
+		Fault{Kind: SlowLink, Rank: 3, Start: 2, End: 4, Factor: 3},
+	)
+	if ct, ok := p.CrashTime(1); !ok || ct != 7 {
+		t.Errorf("crash time = %g, %v; want 7, true", ct, ok)
+	}
+	if p.Crashed(1, 6.9) {
+		t.Error("crashed before crash time")
+	}
+	if !p.Crashed(1, 7) {
+		t.Error("not crashed at crash time")
+	}
+	if p.Crashed(2, 1e9) {
+		t.Error("rank without crash fault crashed")
+	}
+
+	// Drop windows: overlap semantics against transfer intervals.
+	cases := []struct {
+		start, end float64
+		want       bool
+	}{
+		{0, 2.9, false}, // entirely before
+		{0, 3, true},    // touches the window start
+		{4, 5, true},    // inside
+		{5.5, 9, true},  // straddles the end
+		{6, 9, false},   // window end is exclusive
+		{2.5, 7, true},  // covers the window
+	}
+	for _, c := range cases {
+		if got := p.DropsDuring(2, c.start, c.end); got != c.want {
+			t.Errorf("DropsDuring(2, %g, %g) = %v, want %v", c.start, c.end, got, c.want)
+		}
+	}
+
+	if got := p.Slowdown(3, 3); got != 3 {
+		t.Errorf("slowdown inside window = %g, want 3", got)
+	}
+	if got := p.Slowdown(3, 4); got != 1 {
+		t.Errorf("slowdown at exclusive end = %g, want 1", got)
+	}
+	if got := p.Slowdown(2, 3); got != 1 {
+		t.Errorf("slowdown of unafflicted rank = %g, want 1", got)
+	}
+}
+
+func TestRandomPlanDeterministicAndValid(t *testing.T) {
+	cfg := RandomConfig{
+		Seed: 42, Ranks: 16, Root: 15, Horizon: 100,
+		CrashProb: 0.3, DropProb: 0.3, SlowProb: 0.3, MaxSlow: 4,
+	}
+	a, b := Random(cfg), Random(cfg)
+	if !reflect.DeepEqual(a.Faults(), b.Faults()) {
+		t.Fatal("same seed produced different plans")
+	}
+	cfg.Seed = 43
+	c := Random(cfg)
+	if reflect.DeepEqual(a.Faults(), c.Faults()) {
+		t.Fatal("different seeds produced identical plans")
+	}
+	for _, f := range a.Faults() {
+		if err := f.validate(); err != nil {
+			t.Errorf("random plan emitted invalid fault: %v", err)
+		}
+		if f.Rank == 15 {
+			t.Errorf("random plan faulted the exempt root: %+v", f)
+		}
+		if f.Start < 0 || f.Start >= 100 {
+			t.Errorf("fault start %g outside horizon", f.Start)
+		}
+	}
+}
+
+func TestMonitorObserverFeedsBandwidth(t *testing.T) {
+	mon := monitor.New(16, nil)
+	obs := MonitorObserver(mon)
+	obs(SendEvent{Rank: 1, Name: "caseb", At: 1, Items: 10, Outcome: SendDelivered, Nominal: 1, Actual: 4})
+	v, _, err := mon.Forecast(monitor.BWResource("caseb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-0.25) > 1e-12 {
+		t.Errorf("forecast after slowed send = %g, want 0.25", v)
+	}
+	obs(SendEvent{Rank: 2, Name: "leda", At: 1, Items: 10, Outcome: SendTimedOut, Nominal: 1})
+	v, _, err = mon.Forecast(monitor.BWResource("leda"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != TimeoutBandwidthFraction {
+		t.Errorf("forecast after timeout = %g, want %g", v, TimeoutBandwidthFraction)
+	}
+}
+
+func TestDegradeProcessorsScalesCommOnly(t *testing.T) {
+	mon := monitor.New(16, nil)
+	mon.Observe(monitor.BWResource("slowed"), 0, 0.5)
+	procs := []core.Processor{
+		{Name: "slowed", Comm: cost.Linear{PerItem: 2}, Comp: cost.Linear{PerItem: 1}},
+		{Name: "healthy", Comm: cost.Linear{PerItem: 3}, Comp: cost.Linear{PerItem: 1}},
+	}
+	out := DegradeProcessors(mon, procs)
+	if got := out[0].Comm.Eval(10); math.Abs(got-40) > 1e-12 {
+		t.Errorf("degraded comm cost = %g, want 40", got)
+	}
+	if got := out[0].Comp.Eval(10); got != 10 {
+		t.Errorf("comp cost changed to %g", got)
+	}
+	if got := out[1].Comm.Eval(10); got != 30 {
+		t.Errorf("healthy comm cost changed to %g", got)
+	}
+	// Class preserved: a degraded linear platform still solves linearly.
+	if c := cost.ClassOf(out[0].Comm); c != cost.LinearClass {
+		t.Errorf("degraded comm class = %v, want linear", c)
+	}
+	// The original slice is untouched.
+	if got := procs[0].Comm.Eval(10); got != 20 {
+		t.Errorf("input mutated: %g", got)
+	}
+}

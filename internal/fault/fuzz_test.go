@@ -1,0 +1,41 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzBackoff drives arbitrary configurations through the schedule and
+// asserts the contract the retry loop relies on: every delay is finite
+// and non-negative, the sequence is monotone non-decreasing, bounded by
+// the (normalized) cap, and deterministic.
+func FuzzBackoff(f *testing.F) {
+	f.Add(0.25, 2.0, 8.0, 0.0, int64(0))
+	f.Add(0.5, 1.0, 3.0, 0.9, int64(7))
+	f.Add(1e-9, 10.0, 1e9, 5.0, int64(-1))
+	f.Add(math.NaN(), math.Inf(1), -3.0, math.NaN(), int64(12345))
+	f.Fuzz(func(t *testing.T, base, factor, cap_, jitter float64, seed int64) {
+		b := Backoff{Base: base, Factor: factor, Cap: cap_, Jitter: jitter, Seed: seed}
+		nb := b.normalized()
+		if !(nb.Base > 0) || !(nb.Factor >= 1) || !(nb.Cap > 0) || !(nb.Jitter >= 0) {
+			t.Fatalf("normalization left invalid fields: %+v", nb)
+		}
+		prev := 0.0
+		for k := 0; k <= 48; k++ {
+			d := b.Delay(k)
+			if math.IsNaN(d) || d < 0 {
+				t.Fatalf("Delay(%d) = %g for %+v", k, d, b)
+			}
+			if d > nb.Cap {
+				t.Fatalf("Delay(%d) = %g exceeds cap %g for %+v", k, d, nb.Cap, b)
+			}
+			if d < prev {
+				t.Fatalf("Delay(%d) = %g < Delay(%d) = %g for %+v", k, d, k-1, prev, b)
+			}
+			if b.Delay(k) != d {
+				t.Fatalf("Delay(%d) not deterministic for %+v", k, b)
+			}
+			prev = d
+		}
+	})
+}

@@ -1,0 +1,98 @@
+package fault
+
+import (
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/monitor"
+)
+
+// This file closes the degradation loop through internal/monitor: send
+// outcomes observed by the runtime feed the NWS-style forecasters, and
+// the re-solve after a permanent failure reads the degraded link costs
+// back out — so the rebalanced distribution accounts for the flapping
+// links that caused the failure in the first place.
+
+// SendOutcome classifies one root-to-rank transfer attempt.
+type SendOutcome int
+
+const (
+	// SendDelivered means the transfer completed (possibly slowed).
+	SendDelivered SendOutcome = iota
+	// SendTimedOut means the root gave up waiting for the transfer's
+	// acknowledgement.
+	SendTimedOut
+)
+
+// String names the outcome.
+func (o SendOutcome) String() string {
+	if o == SendDelivered {
+		return "delivered"
+	}
+	return "timed-out"
+}
+
+// SendEvent is one observed transfer attempt, reported by the runtime
+// to an installed observer.
+type SendEvent struct {
+	// Rank is the destination's top-level world rank.
+	Rank int
+	// Name is the destination processor's name.
+	Name string
+	// At is the virtual time of the outcome.
+	At float64
+	// Items is the payload size.
+	Items int
+	// Outcome classifies the attempt.
+	Outcome SendOutcome
+	// Nominal is the cost-model transfer time; Actual is the observed
+	// one (meaningful for delivered sends only).
+	Nominal, Actual float64
+}
+
+// TimeoutBandwidthFraction is the bandwidth fraction recorded for a
+// timed-out send: the link is not proven dead, just unusable right now.
+const TimeoutBandwidthFraction = 0.05
+
+// MonitorObserver returns a send-event callback feeding the monitor's
+// per-link bandwidth series: a delivered send records nominal/actual
+// (1 on a healthy link, below 1 on a slowed one), a timeout records
+// TimeoutBandwidthFraction. Install it on an mpi.World with
+// SetSendObserver.
+func MonitorObserver(m *monitor.Monitor) func(SendEvent) {
+	return func(ev SendEvent) {
+		frac := 1.0
+		switch ev.Outcome {
+		case SendDelivered:
+			if ev.Nominal > 0 && ev.Actual > ev.Nominal {
+				frac = ev.Nominal / ev.Actual
+			}
+		case SendTimedOut:
+			frac = TimeoutBandwidthFraction
+		}
+		m.Observe(monitor.BWResource(ev.Name), ev.At, frac)
+	}
+}
+
+// DegradeProcessors returns a copy of the processors with each
+// communication cost divided by the monitor's bandwidth-fraction
+// forecast for that machine's link (clamped into [0.01, 1], as in
+// monitor.ApplyForecasts). Processors without measurements are
+// untouched. cost.Scaled preserves the analytic class, so the solver
+// selection — and Theorem 2 pruning on linear platforms — still
+// applies to the degraded costs.
+func DegradeProcessors(m *monitor.Monitor, procs []core.Processor) []core.Processor {
+	out := append([]core.Processor(nil), procs...)
+	for i := range out {
+		v, _, err := m.Forecast(monitor.BWResource(out[i].Name))
+		if err != nil {
+			continue
+		}
+		if v < 0.01 {
+			v = 0.01
+		}
+		if v < 1 {
+			out[i].Comm = cost.Scaled{F: out[i].Comm, Factor: 1 / v}
+		}
+	}
+	return out
+}

@@ -7,19 +7,39 @@ import (
 
 // collective is the shared state of one collective operation instance.
 // All ranks calling the same (per-rank ordered) collective meet here;
-// the last arriver computes the outcome for everyone.
+// the last arriver computes the outcome for everyone. A collective can
+// also be completed early — with an error — when a rank fails while
+// peers are parked inside it (see World.markFailed).
 type collective struct {
-	mu      sync.Mutex
-	arrived int
-	clocks  []float64
-	inputs  []any
-	done    chan struct{}
+	mu        sync.Mutex
+	arrived   int
+	clocks    []float64
+	inputs    []any
+	completed bool
+	done      chan struct{}
 
 	commStarts []float64
 	outClocks  []float64
 	outputs    []any
 	err        error
 }
+
+// finish publishes the collective's outcome exactly once and releases
+// every waiter. Later calls are no-ops, so a rank failure racing the
+// last arriver is safe: first writer wins.
+func (st *collective) finish(commStarts, outClocks []float64, outputs []any, err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.completed {
+		return
+	}
+	st.completed = true
+	st.commStarts, st.outClocks, st.outputs, st.err = commStarts, outClocks, outputs, err
+	close(st.done)
+}
+
+// fail completes the collective with an error.
+func (st *collective) fail(err error) { st.finish(nil, nil, nil, err) }
 
 // collectiveOp computes the result of a collective once every rank has
 // arrived: given per-rank clocks and inputs it returns, per rank, the
@@ -29,6 +49,9 @@ type collectiveOp func(w *World, clocks []float64, inputs []any) (commStarts, ou
 
 // rendezvous joins collective number seq, blocks until all ranks have
 // arrived, and applies the op's outcome to this rank's clock and stats.
+// If a rank has already failed, entering ranks fail fast with
+// ErrRankFailed — a dead peer will never arrive, so waiting for it
+// would deadlock the survivors.
 func (c *Comm) rendezvous(input any, op collectiveOp) (any, error) {
 	seq := c.nextCollective
 	c.nextCollective++
@@ -36,6 +59,11 @@ func (c *Comm) rendezvous(input any, op collectiveOp) (any, error) {
 	p := w.Size()
 
 	w.mu.Lock()
+	if len(w.failed) > 0 {
+		w.mu.Unlock()
+		r, _ := w.firstFailed()
+		return nil, fmt.Errorf("mpi: rank %d entered a collective after rank %d failed: %w", c.rank, r, ErrRankFailed)
+	}
 	st, ok := w.collectives[seq]
 	if !ok {
 		st = &collective{
@@ -48,23 +76,27 @@ func (c *Comm) rendezvous(input any, op collectiveOp) (any, error) {
 	w.mu.Unlock()
 
 	st.mu.Lock()
-	st.clocks[c.rank] = c.clock
-	st.inputs[c.rank] = input
-	st.arrived++
-	last := st.arrived == p
+	last := false
+	if !st.completed {
+		st.clocks[c.rank] = c.clock
+		st.inputs[c.rank] = input
+		st.arrived++
+		last = st.arrived == p
+	}
 	st.mu.Unlock()
 
 	if last {
-		st.commStarts, st.outClocks, st.outputs, st.err = op(w, st.clocks, st.inputs)
-		// The collective is complete; free the slot so a long program
-		// does not accumulate state (sequence numbers keep advancing).
+		// Free the slot before running the op: ops that themselves mark
+		// ranks failed (the fault-tolerant scatter) must not have
+		// markFailed abort the very collective computing the outcome.
+		// Sequence numbers keep advancing, so the slot is never reused.
 		w.mu.Lock()
 		delete(w.collectives, seq)
 		w.mu.Unlock()
-		close(st.done)
-	} else {
-		<-st.done
+		cs, oc, outs, err := op(w, st.clocks, st.inputs)
+		st.finish(cs, oc, outs, err)
 	}
+	<-st.done
 	if st.err != nil {
 		return nil, st.err
 	}

@@ -1,0 +1,157 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// These tests pin the error-path hygiene contract: once any rank has
+// failed — returned an error, panicked, or been killed by an injected
+// fault — the surviving ranks' communications return an error wrapping
+// ErrRankFailed instead of deadlocking on a peer that will never
+// arrive.
+
+func TestCollectiveAfterRankErrorFailsFast(t *testing.T) {
+	w := world4(t)
+	barrierErrs := make([]error, w.Size())
+	_, err := Run(w, func(c *Comm) error {
+		if c.Rank() == 1 {
+			return fmt.Errorf("rank 1 gives up")
+		}
+		barrierErrs[c.Rank()] = Barrier(c)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("Run swallowed rank 1's error")
+	}
+	for _, r := range []int{0, 2, 3} {
+		if !errors.Is(barrierErrs[r], ErrRankFailed) {
+			t.Errorf("rank %d barrier error = %v, want ErrRankFailed", r, barrierErrs[r])
+		}
+	}
+}
+
+func TestCollectiveMidFlightFailsFast(t *testing.T) {
+	// Ranks 0, 2, 3 are already parked inside the barrier when rank 1
+	// dies: the pending collective must complete with ErrRankFailed.
+	w := world4(t)
+	parked := make(chan struct{}, 3)
+	barrierErrs := make([]error, w.Size())
+	_, err := Run(w, func(c *Comm) error {
+		if c.Rank() == 1 {
+			// Wait until the others are inside the collective (they park
+			// right after signaling; the tiny race is harmless — both
+			// orders must end in ErrRankFailed, not deadlock).
+			for i := 0; i < 3; i++ {
+				<-parked
+			}
+			return fmt.Errorf("rank 1 dies mid-collective")
+		}
+		parked <- struct{}{}
+		barrierErrs[c.Rank()] = Barrier(c)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("Run swallowed rank 1's error")
+	}
+	for _, r := range []int{0, 2, 3} {
+		if !errors.Is(barrierErrs[r], ErrRankFailed) {
+			t.Errorf("rank %d barrier error = %v, want ErrRankFailed", r, barrierErrs[r])
+		}
+	}
+}
+
+func TestRecvFromFailedRankFailsFast(t *testing.T) {
+	w := world4(t)
+	var recvErr error
+	_, err := Run(w, func(c *Comm) error {
+		switch c.Rank() {
+		case 0:
+			_, recvErr = c.Recv(1)
+		case 1:
+			return fmt.Errorf("rank 1 dies before sending")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("Run swallowed rank 1's error")
+	}
+	if !errors.Is(recvErr, ErrRankFailed) {
+		t.Errorf("recv error = %v, want ErrRankFailed", recvErr)
+	}
+}
+
+func TestRecvDrainsBufferedBeforeFailing(t *testing.T) {
+	// Data sent before the sender died is still delivered: failure only
+	// surfaces when the mailbox is empty.
+	w := world4(t)
+	var first any
+	var firstErr, secondErr error
+	_, err := Run(w, func(c *Comm) error {
+		switch c.Rank() {
+		case 0:
+			first, firstErr = c.Recv(1)
+			_, secondErr = c.Recv(1)
+		case 1:
+			if err := c.Send(0, "parting words", 1); err != nil {
+				return err
+			}
+			return fmt.Errorf("rank 1 dies after sending")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("Run swallowed rank 1's error")
+	}
+	if firstErr != nil || first != "parting words" {
+		t.Errorf("buffered message lost: %v, %v", first, firstErr)
+	}
+	if !errors.Is(secondErr, ErrRankFailed) {
+		t.Errorf("second recv error = %v, want ErrRankFailed", secondErr)
+	}
+}
+
+func TestWaitOnIrecvFromFailedRankFailsFast(t *testing.T) {
+	w := world4(t)
+	var waitErr error
+	_, err := Run(w, func(c *Comm) error {
+		switch c.Rank() {
+		case 0:
+			req, err := c.Irecv(1)
+			if err != nil {
+				return err
+			}
+			_, waitErr = req.Wait()
+		case 1:
+			return fmt.Errorf("rank 1 dies before sending")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("Run swallowed rank 1's error")
+	}
+	if !errors.Is(waitErr, ErrRankFailed) {
+		t.Errorf("wait error = %v, want ErrRankFailed", waitErr)
+	}
+}
+
+func TestPanickedRankMarksFailed(t *testing.T) {
+	w := world4(t)
+	barrierErrs := make([]error, w.Size())
+	_, err := Run(w, func(c *Comm) error {
+		if c.Rank() == 2 {
+			panic("rank 2 explodes")
+		}
+		barrierErrs[c.Rank()] = Barrier(c)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("Run swallowed rank 2's panic")
+	}
+	for _, r := range []int{0, 1, 3} {
+		if !errors.Is(barrierErrs[r], ErrRankFailed) {
+			t.Errorf("rank %d barrier error = %v, want ErrRankFailed", r, barrierErrs[r])
+		}
+	}
+}

@@ -1,0 +1,380 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/fault"
+)
+
+// This file is the failure-aware counterpart of Scatterv. The root
+// still serves destinations in rank order over a single port (the
+// paper's Section 2.3 model), but every send is supervised: a transfer
+// that overlaps an injected link-drop window — or whose destination has
+// crashed — times out at the root, which retries it under a capped
+// exponential backoff. A rank whose retries are exhausted, or which
+// crashes outright, is declared dead; the items it still owed (and any
+// it had already received, since a crashed machine's partial results
+// are gone) are re-balanced over the survivors by re-solving the
+// paper's distribution problem on the surviving processors — the same
+// solvers, including Theorem 2's participation pruning — and shipped in
+// a further scatter round. The loop repeats until a round loses
+// nothing, so every item is delivered exactly once to a surviving rank.
+
+// SetFaultPlan installs a failure-injection plan and the retry policy
+// governing the fault-tolerant collectives. It must be called before
+// Run; sub-worlds created by Split inherit it.
+func (w *World) SetFaultPlan(plan *fault.Plan, pol fault.Policy) {
+	w.fc.plan = plan
+	w.fc.policy = pol
+}
+
+// SetSendObserver installs a callback invoked for every supervised
+// send outcome (delivered, slowed or timed out). Wire it to a monitor
+// with fault.MonitorObserver so re-solves see degraded link costs. It
+// must be called before Run.
+func (w *World) SetSendObserver(fn func(fault.SendEvent)) { w.fc.observer = fn }
+
+// SetRebalanceCosts installs a hook that supplies the processors used
+// when re-solving the distribution over survivors. It receives the
+// surviving world ranks in service order (root last) and returns the
+// matching processors — e.g. fault.DegradeProcessors applied to the
+// restriction, so the re-solve accounts for links the monitor has seen
+// flapping. When unset, the world's nominal processors are used. It
+// must be called before Run.
+func (w *World) SetRebalanceCosts(fn func(ranks []int) []core.Processor) { w.fc.rebalance = fn }
+
+// rebalanceProcs returns the processors to re-solve over, for the
+// given surviving ranks in service order (root last). The root's
+// communication cost is forced to zero: its own share ships for free,
+// exactly as in BalancedCounts.
+func (w *World) rebalanceProcs(ranks []int) []core.Processor {
+	var procs []core.Processor
+	if w.fc.rebalance != nil {
+		procs = append([]core.Processor(nil), w.fc.rebalance(ranks)...)
+	} else {
+		procs = make([]core.Processor, len(ranks))
+		for i, r := range ranks {
+			procs[i] = w.procs[r]
+		}
+	}
+	if len(procs) > 0 {
+		procs[len(procs)-1].Comm = cost.Zero
+	}
+	return procs
+}
+
+// ScatterReport describes how a fault-tolerant scatter went.
+type ScatterReport struct {
+	// Planned is the requested per-rank distribution (the counts
+	// argument); Final is what each rank actually ended up holding —
+	// zero for ranks that failed.
+	Planned, Final core.Distribution
+	// Failed lists the ranks declared dead during the scatter, in rank
+	// order.
+	Failed []int
+	// Retries counts re-sent transfers; Timeouts counts transfer
+	// attempts the root gave up on; Rounds counts scatter rounds (1 for
+	// a failure-free run, +1 per rebalance).
+	Retries, Timeouts, Rounds int
+	// Survivors is a communicator over the surviving ranks, rooted at
+	// the same processor, for the rest of the program to continue on.
+	// It is the receiver's own communicator when nothing failed, and
+	// nil for a rank that failed.
+	Survivors *Comm
+}
+
+// ftShared is the per-scatter outcome shared by every rank's report.
+type ftShared struct {
+	planned, final core.Distribution
+	failedRanks    []int
+	retries        int
+	timeouts       int
+	rounds         int
+	sub            *World // nil when nothing failed
+}
+
+// ftOut is the per-rank outcome of a fault-tolerant scatter.
+type ftOut[T any] struct {
+	chunk   []T
+	spans   []Span
+	failed  bool
+	subRank int
+	shared  *ftShared
+}
+
+// FaultTolerantScatterv distributes data from the root like Scatterv,
+// but supervises every transfer against the world's fault plan:
+// timed-out sends are retried with capped exponential backoff, and
+// ranks that crash or exhaust their retries are declared dead and
+// their items re-balanced over the survivors in further scatter
+// rounds. Ranks declared dead receive an error wrapping ErrRankFailed;
+// surviving ranks receive their (possibly enlarged) chunk and a report
+// with a communicator over the survivors.
+func FaultTolerantScatterv[T any](c *Comm, data []T, counts []int) ([]T, *ScatterReport, error) {
+	type in struct {
+		data   []T
+		counts []int
+	}
+	out, err := c.rendezvous(in{data, counts}, func(w *World, clocks []float64, inputs []any) ([]float64, []float64, []any, error) {
+		p := w.Size()
+		root := w.rootRank
+		rootIn := inputs[root].(in)
+		counts := rootIn.counts
+		if len(counts) != p {
+			return nil, nil, nil, fmt.Errorf("mpi: scatterv with %d counts for %d ranks", len(counts), p)
+		}
+		total := 0
+		for i, n := range counts {
+			if n < 0 {
+				return nil, nil, nil, fmt.Errorf("mpi: scatterv count %d is negative", i)
+			}
+			total += n
+		}
+		if total > len(rootIn.data) {
+			return nil, nil, nil, fmt.Errorf("mpi: scatterv needs %d items, root has %d", total, len(rootIn.data))
+		}
+		plan := w.fc.plan
+		pol := w.fc.policy.WithDefaults()
+		if _, crashes := plan.CrashTime(w.globalRank(root)); crashes {
+			return nil, nil, nil, fmt.Errorf("mpi: fault plan crashes the root rank %d; the root must survive", root)
+		}
+
+		// Round 1 ships the requested distribution.
+		roundData := make([][]T, p)
+		off := 0
+		for r, n := range counts {
+			roundData[r] = rootIn.data[off : off+n]
+			off += n
+		}
+
+		delivered := make([][]T, p)
+		alive := make([]bool, p)
+		for r := range alive {
+			alive[r] = true
+		}
+		dead := make([]bool, p)
+		recvSpans := make([][]Span, p)
+		recvEnd := make([]float64, p)
+		var rootSpans []Span
+		sh := &ftShared{planned: append(core.Distribution(nil), counts...)}
+
+		t := clocks[root]
+		observe := func(ev fault.SendEvent) {
+			if w.fc.observer != nil {
+				w.fc.observer(ev)
+			}
+		}
+
+		// deliver supervises the transfer of items to rank r, retrying
+		// under the policy. It advances the root's port time t and
+		// reports whether the items landed.
+		deliver := func(r, round int, items []T) bool {
+			gr := w.globalRank(r)
+			name := w.procs[r].Name
+			nominal := w.transferTime(root, r, len(items))
+			sendLabel := fmt.Sprintf("send→%s", name)
+			if round > 1 {
+				sendLabel = fmt.Sprintf("rebalance→%s", name)
+			}
+			for attempt := 0; ; attempt++ {
+				d := nominal * plan.Slowdown(gr, t)
+				arrive := t + d
+				lost := plan.Crashed(gr, arrive) || plan.DropsDuring(gr, t, arrive)
+				if !lost {
+					rootSpans = append(rootSpans, Span{Phase: PhaseComm, Start: t, End: arrive, Label: sendLabel})
+					start, end := t, arrive
+					if clocks[r] > start {
+						start = clocks[r]
+					}
+					if clocks[r] > end {
+						end = clocks[r]
+					}
+					recvSpans[r] = append(recvSpans[r], Span{Phase: PhaseComm, Start: start, End: end, Label: sendLabel})
+					recvEnd[r] = end
+					observe(fault.SendEvent{
+						Rank: gr, Name: name, At: arrive, Items: len(items),
+						Outcome: fault.SendDelivered, Nominal: nominal, Actual: d,
+					})
+					t = arrive
+					return true
+				}
+				sh.timeouts++
+				rootSpans = append(rootSpans, Span{
+					Phase: PhaseTimeout, Start: t, End: t + pol.Timeout,
+					Label: fmt.Sprintf("timeout→%s #%d", name, attempt+1),
+				})
+				t += pol.Timeout
+				observe(fault.SendEvent{
+					Rank: gr, Name: name, At: t, Items: len(items),
+					Outcome: fault.SendTimedOut, Nominal: nominal,
+				})
+				if attempt >= pol.MaxRetries {
+					return false
+				}
+				sh.retries++
+				wait := pol.Backoff.Delay(attempt)
+				if wait > 0 {
+					rootSpans = append(rootSpans, Span{
+						Phase: PhaseBackoff, Start: t, End: t + wait,
+						Label: fmt.Sprintf("backoff→%s", name),
+					})
+					t += wait
+				}
+			}
+		}
+
+		for round := 1; ; round++ {
+			sh.rounds = round
+			// Serve the round's recipients in rank order over the
+			// root's single port.
+			for r := 0; r < p; r++ {
+				if r == root || !alive[r] || len(roundData[r]) == 0 {
+					continue
+				}
+				if deliver(r, round, roundData[r]) {
+					delivered[r] = append(delivered[r], roundData[r]...)
+					roundData[r] = nil
+				} else {
+					alive[r] = false // keep roundData[r] for reclaiming
+				}
+			}
+			// The root's own share ships for free once the port is idle.
+			delivered[root] = append(delivered[root], roundData[root]...)
+			roundData[root] = nil
+
+			// Sweep for crashes up to the port's current time: a rank
+			// that received its chunk and then died takes the data down
+			// with it, so its items re-enter the pool too.
+			for r := 0; r < p; r++ {
+				if r != root && alive[r] && plan.Crashed(w.globalRank(r), t) {
+					alive[r] = false
+				}
+			}
+			var lost []T
+			for r := 0; r < p; r++ {
+				if r == root || alive[r] || dead[r] {
+					continue
+				}
+				dead[r] = true
+				lost = append(lost, delivered[r]...)
+				lost = append(lost, roundData[r]...)
+				delivered[r], roundData[r] = nil, nil
+			}
+			if len(lost) == 0 {
+				break
+			}
+
+			// Re-solve the distribution problem over the survivors, in
+			// service order with the root last (its share is free), and
+			// ship the losses in another round.
+			var survivors []int
+			for r := 0; r < p; r++ {
+				if r != root && alive[r] {
+					survivors = append(survivors, r)
+				}
+			}
+			survivors = append(survivors, root)
+			dist := core.Uniform(len(survivors), len(lost))
+			if res, err := solveByClass(w.rebalanceProcs(survivors), len(lost)); err == nil {
+				dist = res.Distribution
+			}
+			off := 0
+			for pos, r := range survivors {
+				roundData[r] = lost[off : off+dist[pos]]
+				off += dist[pos]
+			}
+		}
+
+		// Assemble the shared report and per-rank outcomes.
+		sh.final = make(core.Distribution, p)
+		for r := 0; r < p; r++ {
+			sh.final[r] = len(delivered[r])
+			if dead[r] {
+				sh.failedRanks = append(sh.failedRanks, r)
+			}
+		}
+		sort.Ints(sh.failedRanks)
+		var subRanks []int
+		subRank := make([]int, p)
+		if len(sh.failedRanks) > 0 {
+			for r := 0; r < p; r++ {
+				if !dead[r] {
+					subRank[r] = len(subRanks)
+					subRanks = append(subRanks, r)
+				}
+			}
+			rootPos := 0
+			for i, r := range subRanks {
+				if r == root {
+					rootPos = i
+				}
+			}
+			sh.sub = w.subWorld(subRanks, rootPos)
+		}
+
+		commStarts := make([]float64, p)
+		outClocks := make([]float64, p)
+		outputs := make([]any, p)
+		for r := 0; r < p; r++ {
+			commStarts[r] = clocks[r]
+			outClocks[r] = clocks[r]
+			o := ftOut[T]{shared: sh}
+			switch {
+			case r == root:
+				o.chunk = delivered[r]
+				o.spans = rootSpans
+			case dead[r]:
+				o.failed = true
+				o.spans = recvSpans[r]
+				start := clocks[r]
+				if recvEnd[r] > start {
+					start = recvEnd[r]
+				}
+				if ct, ok := plan.CrashTime(w.globalRank(r)); ok && ct > start {
+					o.spans = append(append([]Span(nil), o.spans...),
+						Span{Phase: PhaseIdle, Start: start, End: ct, Label: "crashed"})
+				}
+			default:
+				o.chunk = delivered[r]
+				o.spans = recvSpans[r]
+			}
+			if !dead[r] && sh.sub != nil {
+				o.subRank = subRank[r]
+			}
+			outputs[r] = o
+		}
+		// Mark the dead so the rest of the program fails fast instead
+		// of deadlocking on ranks that will never arrive.
+		for _, r := range sh.failedRanks {
+			w.markFailed(r, fmt.Errorf("mpi: rank %d lost to injected fault: %w", r, ErrRankFailed))
+		}
+		return commStarts, outClocks, outputs, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	o := out.(ftOut[T])
+	c.playSpans(o.spans)
+	sh := o.shared
+	rep := &ScatterReport{
+		Planned:  sh.planned,
+		Final:    sh.final,
+		Failed:   sh.failedRanks,
+		Retries:  sh.retries,
+		Timeouts: sh.timeouts,
+		Rounds:   sh.rounds,
+	}
+	if o.failed {
+		return nil, rep, fmt.Errorf("mpi: rank %d: %w", c.rank, ErrRankFailed)
+	}
+	c.stats.ItemsReceived += len(o.chunk)
+	if sh.sub != nil {
+		rep.Survivors = &Comm{world: sh.sub, rank: o.subRank, clock: c.clock, stats: c.stats}
+	} else {
+		rep.Survivors = c
+	}
+	return o.chunk, rep, nil
+}

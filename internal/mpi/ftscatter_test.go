@@ -1,0 +1,355 @@
+package mpi
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+)
+
+// testPolicy keeps retry timing small and deterministic.
+func testPolicy() fault.Policy {
+	return fault.Policy{
+		Timeout:    1,
+		MaxRetries: 2,
+		Backoff:    fault.Backoff{Base: 0.5, Factor: 2, Cap: 2},
+	}
+}
+
+// runFT runs a fault-tolerant scatter of data over the world and
+// returns, per rank, the received chunk, the report, and the error.
+func runFT(t *testing.T, w *World, data []int, counts []int) ([][]int, []*ScatterReport, []error, []RankStats) {
+	t.Helper()
+	p := w.Size()
+	chunks := make([][]int, p)
+	reports := make([]*ScatterReport, p)
+	scatterErrs := make([]error, p)
+	stats, err := Run(w, func(c *Comm) error {
+		var buf []int
+		var rep *ScatterReport
+		var err error
+		if c.IsRoot() {
+			buf, rep, err = FaultTolerantScatterv(c, data, counts)
+		} else {
+			buf, rep, err = FaultTolerantScatterv[int](c, nil, nil)
+		}
+		chunks[c.Rank()], reports[c.Rank()], scatterErrs[c.Rank()] = buf, rep, err
+		return nil // errors are inspected by the test, not by Run
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return chunks, reports, scatterErrs, stats
+}
+
+// checkExactlyOnce asserts the union of the received chunks is exactly
+// the original data: every item delivered once, to exactly one rank.
+func checkExactlyOnce(t *testing.T, data []int, chunks [][]int) {
+	t.Helper()
+	var got []int
+	for _, ch := range chunks {
+		got = append(got, ch...)
+	}
+	if len(got) != len(data) {
+		t.Fatalf("delivered %d items, want %d", len(got), len(data))
+	}
+	want := append([]int(nil), data...)
+	sort.Ints(got)
+	sort.Ints(want)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("delivered multiset differs at %d: got %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func seqData(n int) []int {
+	data := make([]int, n)
+	for i := range data {
+		data[i] = i
+	}
+	return data
+}
+
+func TestFTScattervNoFaultsMatchesScatterv(t *testing.T) {
+	counts := []int{2, 2, 2, 2}
+	data := seqData(8)
+
+	plain := world4(t)
+	plainStats, err := Run(plain, func(c *Comm) error {
+		var buf []int
+		var err error
+		if c.IsRoot() {
+			buf, err = Scatterv(c, data, counts)
+		} else {
+			buf, err = Scatterv[int](c, nil, nil)
+		}
+		if err != nil {
+			return err
+		}
+		c.ChargeItems(len(buf))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ft := world4(t)
+	ft.SetFaultPlan(nil, testPolicy())
+	p := ft.Size()
+	chunks := make([][]int, p)
+	reports := make([]*ScatterReport, p)
+	ftStats, err := Run(ft, func(c *Comm) error {
+		var buf []int
+		var rep *ScatterReport
+		var err error
+		if c.IsRoot() {
+			buf, rep, err = FaultTolerantScatterv(c, data, counts)
+		} else {
+			buf, rep, err = FaultTolerantScatterv[int](c, nil, nil)
+		}
+		if err != nil {
+			return err
+		}
+		chunks[c.Rank()], reports[c.Rank()] = buf, rep
+		if rep.Survivors != c {
+			t.Errorf("rank %d: failure-free Survivors is not the rank's own comm", c.Rank())
+		}
+		c.ChargeItems(len(buf))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for r := range plainStats {
+		if math.Abs(plainStats[r].Finish-ftStats[r].Finish) > 1e-9 {
+			t.Errorf("rank %d finish = %g, want Scatterv's %g", r, ftStats[r].Finish, plainStats[r].Finish)
+		}
+	}
+	checkExactlyOnce(t, data, chunks)
+	rep := reports[0]
+	if rep.Rounds != 1 || rep.Retries != 0 || rep.Timeouts != 0 || len(rep.Failed) != 0 {
+		t.Errorf("failure-free report = %+v", rep)
+	}
+}
+
+func TestFTScattervPermanentCrash(t *testing.T) {
+	// Rank 1's transfer spans [2, 6] in the fault-free timeline; a crash
+	// at t=5 kills every attempt, so after the retries are exhausted its
+	// share is re-balanced over ranks 0, 2 and the root.
+	w := world4(t)
+	w.SetFaultPlan(fault.MustPlan(fault.Fault{Kind: fault.Crash, Rank: 1, Start: 5}), testPolicy())
+	data := seqData(8)
+	chunks, reports, scatterErrs, _ := runFT(t, w, data, []int{2, 2, 2, 2})
+
+	if !errors.Is(scatterErrs[1], ErrRankFailed) {
+		t.Fatalf("crashed rank error = %v, want ErrRankFailed", scatterErrs[1])
+	}
+	if chunks[1] != nil {
+		t.Errorf("crashed rank received %d items", len(chunks[1]))
+	}
+	for _, r := range []int{0, 2, 3} {
+		if scatterErrs[r] != nil {
+			t.Fatalf("survivor %d errored: %v", r, scatterErrs[r])
+		}
+	}
+	checkExactlyOnce(t, data, [][]int{chunks[0], chunks[2], chunks[3]})
+
+	rep := reports[0]
+	if want := []int{1}; !intsEqual(rep.Failed, want) {
+		t.Errorf("Failed = %v, want %v", rep.Failed, want)
+	}
+	if rep.Final[1] != 0 {
+		t.Errorf("Final[1] = %d, want 0", rep.Final[1])
+	}
+	if rep.Final.Sum() != 8 {
+		t.Errorf("Final sums to %d, want 8", rep.Final.Sum())
+	}
+	if rep.Rounds != 2 {
+		t.Errorf("Rounds = %d, want 2", rep.Rounds)
+	}
+	// The policy allows MaxRetries=2 resends after the first timeout.
+	if rep.Timeouts != 3 || rep.Retries != 2 {
+		t.Errorf("Timeouts, Retries = %d, %d; want 3, 2", rep.Timeouts, rep.Retries)
+	}
+	// The crashed rank's report still describes the scatter.
+	if reports[1] == nil || !intsEqual(reports[1].Failed, []int{1}) || reports[1].Survivors != nil {
+		t.Errorf("crashed rank report = %+v", reports[1])
+	}
+}
+
+func TestFTScattervSurvivorCommunicator(t *testing.T) {
+	// After a crash, the survivors' communicator must be usable for the
+	// rest of the program (here: gather the chunks back), while
+	// full-world collectives fail fast with ErrRankFailed.
+	w := world4(t)
+	w.SetFaultPlan(fault.MustPlan(fault.Fault{Kind: fault.Crash, Rank: 1, Start: 5}), testPolicy())
+	data := seqData(8)
+	var gathered []int
+	barrierErrs := make([]error, w.Size())
+	_, err := Run(w, func(c *Comm) error {
+		var buf []int
+		var rep *ScatterReport
+		var err error
+		if c.IsRoot() {
+			buf, rep, err = FaultTolerantScatterv(c, data, []int{2, 2, 2, 2})
+		} else {
+			buf, rep, err = FaultTolerantScatterv[int](c, nil, nil)
+		}
+		if err != nil {
+			if !errors.Is(err, ErrRankFailed) {
+				return err
+			}
+			return nil // dead rank leaves the program
+		}
+		// The full world now contains a dead rank: collectives on it
+		// must fail fast, not deadlock.
+		barrierErrs[c.Rank()] = Barrier(c)
+		sub := rep.Survivors
+		out, err := Gatherv(sub, buf)
+		if err != nil {
+			return err
+		}
+		if sub.IsRoot() {
+			gathered = out
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []int{0, 2, 3} {
+		if !errors.Is(barrierErrs[r], ErrRankFailed) {
+			t.Errorf("rank %d full-world barrier error = %v, want ErrRankFailed", r, barrierErrs[r])
+		}
+	}
+	checkExactlyOnce(t, data, [][]int{gathered})
+}
+
+func TestFTScattervTransientDropRetries(t *testing.T) {
+	// Rank 0's link drops sends overlapping [0, 1): the first attempt
+	// ([0, 2]) is lost, the retry (after timeout 1 + backoff 0.5) lands.
+	w := world4(t)
+	w.SetFaultPlan(fault.MustPlan(fault.Fault{Kind: fault.LinkDrop, Rank: 0, Start: 0, End: 1}), testPolicy())
+	data := seqData(8)
+	chunks, reports, scatterErrs, stats := runFT(t, w, data, []int{2, 2, 2, 2})
+
+	for r, err := range scatterErrs {
+		if err != nil {
+			t.Fatalf("rank %d errored: %v", r, err)
+		}
+	}
+	checkExactlyOnce(t, data, chunks)
+	rep := reports[0]
+	if rep.Retries != 1 || rep.Timeouts != 1 || rep.Rounds != 1 || len(rep.Failed) != 0 {
+		t.Errorf("report = %+v, want 1 retry, 1 timeout, 1 round, no failures", rep)
+	}
+	// Retry timing: timeout [0,1], backoff [1,1.5], resend [1.5,3.5],
+	// then ranks 1 and 2 as usual; root's port frees at 3.5+4+6 = 13.5.
+	if got := stats[3].Finish; math.Abs(got-13.5) > 1e-9 {
+		t.Errorf("root finish = %g, want 13.5", got)
+	}
+}
+
+func TestFTScattervCrashAfterDeliveryReclaims(t *testing.T) {
+	// Rank 0 receives its chunk at t=2 and crashes at t=3, while the
+	// root is still serving the others. The crashed machine's items are
+	// gone with it, so they are re-scattered among the survivors.
+	w := world4(t)
+	w.SetFaultPlan(fault.MustPlan(fault.Fault{Kind: fault.Crash, Rank: 0, Start: 3}), testPolicy())
+	data := seqData(8)
+	chunks, reports, scatterErrs, _ := runFT(t, w, data, []int{2, 2, 2, 2})
+
+	if !errors.Is(scatterErrs[0], ErrRankFailed) {
+		t.Fatalf("crashed rank error = %v, want ErrRankFailed", scatterErrs[0])
+	}
+	rep := reports[3]
+	if !intsEqual(rep.Failed, []int{0}) || rep.Final[0] != 0 || rep.Rounds != 2 {
+		t.Errorf("report = %+v, want rank 0 failed, Final[0]=0, 2 rounds", rep)
+	}
+	// No send ever timed out: the crash was only discovered by the
+	// post-round sweep.
+	if rep.Timeouts != 0 || rep.Retries != 0 {
+		t.Errorf("Timeouts, Retries = %d, %d; want 0, 0", rep.Timeouts, rep.Retries)
+	}
+	checkExactlyOnce(t, data, [][]int{chunks[1], chunks[2], chunks[3]})
+}
+
+func TestFTScattervRebalanceHook(t *testing.T) {
+	// The re-solve must consult the hook with the survivors only, in
+	// service order with the root last.
+	w := world4(t)
+	w.SetFaultPlan(fault.MustPlan(fault.Fault{Kind: fault.Crash, Rank: 1, Start: 5}), testPolicy())
+	var hookRanks [][]int
+	w.SetRebalanceCosts(func(ranks []int) []core.Processor {
+		hookRanks = append(hookRanks, append([]int(nil), ranks...))
+		procs := make([]core.Processor, len(ranks))
+		for i, r := range ranks {
+			procs[i] = w.procs[r]
+		}
+		return procs
+	})
+	data := seqData(8)
+	chunks, _, _, _ := runFT(t, w, data, []int{2, 2, 2, 2})
+	if len(hookRanks) != 1 {
+		t.Fatalf("hook called %d times, want 1", len(hookRanks))
+	}
+	if want := []int{0, 2, 3}; !intsEqual(hookRanks[0], want) {
+		t.Errorf("hook ranks = %v, want %v", hookRanks[0], want)
+	}
+	checkExactlyOnce(t, data, [][]int{chunks[0], chunks[2], chunks[3]})
+}
+
+func TestFTScattervRootMustSurvive(t *testing.T) {
+	w := world4(t)
+	w.SetFaultPlan(fault.MustPlan(fault.Fault{Kind: fault.Crash, Rank: 3, Start: 1}), testPolicy())
+	_, _, scatterErrs, _ := runFT(t, w, seqData(8), []int{2, 2, 2, 2})
+	for r, err := range scatterErrs {
+		if err == nil {
+			t.Errorf("rank %d accepted a plan that crashes the root", r)
+		}
+	}
+}
+
+func TestFTScattervSpansLabeled(t *testing.T) {
+	// The root's timeline must expose the retry machinery as distinct,
+	// labeled spans: sends, timeouts, backoffs and the rebalance round.
+	w := world4(t)
+	w.SetFaultPlan(fault.MustPlan(fault.Fault{Kind: fault.Crash, Rank: 1, Start: 5}), testPolicy())
+	_, _, _, stats := runFT(t, w, seqData(8), []int{2, 2, 2, 2})
+	var timeouts, backoffs, rebalances int
+	for _, s := range stats[3].Spans {
+		switch s.Phase {
+		case PhaseTimeout:
+			timeouts++
+		case PhaseBackoff:
+			backoffs++
+		case PhaseComm:
+			if len(s.Label) >= 9 && s.Label[:9] == "rebalance" {
+				rebalances++
+			}
+		}
+	}
+	if timeouts != 3 || backoffs != 2 {
+		t.Errorf("timeout, backoff spans = %d, %d; want 3, 2", timeouts, backoffs)
+	}
+	if rebalances == 0 {
+		t.Error("no rebalance span on the root's timeline")
+	}
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -27,7 +27,14 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 )
+
+// ErrRankFailed is the sentinel wrapped by every error caused by a
+// failed rank: a collective entered after a rank errored or crashed, a
+// receive from a dead peer, or the outcome handed to a rank that an
+// injected fault killed. Callers test for it with errors.Is.
+var ErrRankFailed = errors.New("mpi: rank failed")
 
 // World owns the shared state of one SPMD run.
 type World struct {
@@ -36,13 +43,30 @@ type World struct {
 
 	// transfer overrides the default star transfer model when set
 	// (SetTransferModel); parentRanks maps a sub-world's ranks back to
-	// the parent's (nil for a top-level world). See split.go.
+	// the parent's (nil for a top-level world); topRanks maps them all
+	// the way to the top-level world's numbering, which is what fault
+	// plans are keyed by. See split.go.
 	transfer    TransferModel
 	parentRanks []int
+	topRanks    []int
+
+	// fc is the failure-injection configuration, inherited by
+	// sub-worlds. See ftscatter.go.
+	fc faultConfig
 
 	mu          sync.Mutex
 	collectives map[int]*collective
 	mailboxes   map[pairTag]chan message
+	failed      map[int]error
+	failCh      chan struct{} // closed and replaced on every failure
+}
+
+// faultConfig groups the failure-related knobs of a world.
+type faultConfig struct {
+	plan      *fault.Plan
+	policy    fault.Policy
+	observer  func(fault.SendEvent)
+	rebalance func(ranks []int) []core.Processor
 }
 
 // pairTag identifies a point-to-point FIFO channel.
@@ -70,7 +94,58 @@ func NewWorld(procs []core.Processor, rootRank int) (*World, error) {
 		rootRank:    rootRank,
 		collectives: make(map[int]*collective),
 		mailboxes:   make(map[pairTag]chan message),
+		failCh:      make(chan struct{}),
 	}, nil
+}
+
+// globalRank maps a rank of this world to the top-level world's
+// numbering (identity for a top-level world). Fault plans are keyed by
+// top-level ranks, so injected faults follow a processor through
+// communicator splits.
+func (w *World) globalRank(rank int) int {
+	if w.topRanks == nil {
+		return rank
+	}
+	return w.topRanks[rank]
+}
+
+// markFailed records that a rank is gone — its program returned an
+// error, panicked, or an injected fault killed it — and wakes everyone
+// waiting on it: pending collectives complete with ErrRankFailed, and
+// blocked point-to-point receives re-check their peer.
+func (w *World) markFailed(rank int, cause error) {
+	w.mu.Lock()
+	if w.failed == nil {
+		w.failed = make(map[int]error)
+	}
+	if _, dup := w.failed[rank]; dup {
+		w.mu.Unlock()
+		return
+	}
+	w.failed[rank] = cause
+	pending := make([]*collective, 0, len(w.collectives))
+	for _, st := range w.collectives {
+		pending = append(pending, st)
+	}
+	close(w.failCh)
+	w.failCh = make(chan struct{})
+	w.mu.Unlock()
+	for _, st := range pending {
+		st.fail(fmt.Errorf("mpi: rank %d failed: %w", rank, ErrRankFailed))
+	}
+}
+
+// firstFailed returns the lowest failed rank, if any.
+func (w *World) firstFailed() (int, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	first, ok := -1, false
+	for r := range w.failed {
+		if !ok || r < first {
+			first, ok = r, true
+		}
+	}
+	return first, ok
 }
 
 // Size returns the number of ranks.
@@ -116,6 +191,12 @@ const (
 	PhaseComm
 	// PhaseComp is time spent computing.
 	PhaseComp
+	// PhaseTimeout is time the root's port spends waiting for a send
+	// that is never acknowledged (counted as communication time).
+	PhaseTimeout
+	// PhaseBackoff is time spent waiting before a retry (counted as
+	// idle time).
+	PhaseBackoff
 )
 
 // String names the phase.
@@ -127,6 +208,10 @@ func (p Phase) String() string {
 		return "comm"
 	case PhaseComp:
 		return "comp"
+	case PhaseTimeout:
+		return "timeout"
+	case PhaseBackoff:
+		return "backoff"
 	default:
 		return fmt.Sprintf("phase(%d)", int(p))
 	}
@@ -138,6 +223,10 @@ type Span struct {
 	Phase Phase
 	// Start and End bound the interval in virtual seconds.
 	Start, End float64
+	// Label distinguishes spans of the same phase in traces: the
+	// fault-tolerant scatter labels sends, retries, timeouts and
+	// rebalance rounds. Empty for ordinary operations.
+	Label string
 }
 
 // RankStats summarizes one rank's run.
@@ -189,13 +278,18 @@ func (c *Comm) Clock() float64 { return c.clock }
 func (c *Comm) Processor() core.Processor { return c.world.procs[c.rank] }
 
 // advance moves the clock forward by d seconds of the given phase.
-func (c *Comm) advance(d float64, phase Phase) {
+func (c *Comm) advance(d float64, phase Phase) { c.advanceLabeled(d, phase, "") }
+
+// advanceLabeled moves the clock forward by d seconds, recording a
+// labeled span. Timeouts tie up the port and count as communication
+// time; backoffs count as idle time.
+func (c *Comm) advanceLabeled(d float64, phase Phase, label string) {
 	if d <= 0 {
 		return
 	}
-	c.stats.Spans = append(c.stats.Spans, Span{Phase: phase, Start: c.clock, End: c.clock + d})
+	c.stats.Spans = append(c.stats.Spans, Span{Phase: phase, Start: c.clock, End: c.clock + d, Label: label})
 	switch phase {
-	case PhaseComm:
+	case PhaseComm, PhaseTimeout:
 		c.stats.CommTime += d
 	case PhaseComp:
 		c.stats.CompTime += d
@@ -203,6 +297,16 @@ func (c *Comm) advance(d float64, phase Phase) {
 		c.stats.IdleTime += d
 	}
 	c.clock += d
+}
+
+// playSpans replays precomputed absolute-time spans onto the rank's
+// clock and statistics, idling across any gaps. Used by collectives
+// whose timing is too rich for a single (commStart, outClock) pair.
+func (c *Comm) playSpans(spans []Span) {
+	for _, s := range spans {
+		c.advanceTo(s.Start, PhaseIdle)
+		c.advanceLabeled(s.End-c.clock, s.Phase, s.Label)
+	}
 }
 
 // advanceTo idles until absolute time t (no-op if t is in the past).
@@ -260,14 +364,47 @@ func (c *Comm) Send(to int, data any, nitems int) error {
 }
 
 // Recv receives the next value from rank `from`, idling until the
-// message's arrival time if it is still in flight.
+// message's arrival time if it is still in flight. If the sender fails
+// before sending, Recv returns ErrRankFailed instead of blocking
+// forever.
 func (c *Comm) Recv(from int) (any, error) {
 	if from < 0 || from >= c.Size() {
 		return nil, fmt.Errorf("mpi: recv from rank %d out of range", from)
 	}
-	msg := <-c.world.mailbox(from, c.rank)
+	msg, err := c.awaitMessage(from)
+	if err != nil {
+		return nil, err
+	}
 	c.advanceTo(msg.arrives, PhaseIdle)
 	return msg.data, nil
+}
+
+// awaitMessage blocks until a message from `from` is available or the
+// sender is marked failed with nothing buffered. Buffered messages win
+// over failure: data sent before the sender died is still delivered.
+func (c *Comm) awaitMessage(from int) (message, error) {
+	w := c.world
+	mb := w.mailbox(from, c.rank)
+	for {
+		select {
+		case msg := <-mb:
+			return msg, nil
+		default:
+		}
+		w.mu.Lock()
+		_, dead := w.failed[from]
+		ch := w.failCh
+		w.mu.Unlock()
+		if dead {
+			return message{}, fmt.Errorf("mpi: recv from failed rank %d: %w", from, ErrRankFailed)
+		}
+		select {
+		case msg := <-mb:
+			return msg, nil
+		case <-ch:
+			// A rank failed somewhere; re-check whether it was our peer.
+		}
+	}
 }
 
 // Program is an SPMD program body, executed once per rank.
@@ -290,6 +427,11 @@ func Run(w *World, program Program) ([]RankStats, error) {
 				if r := recover(); r != nil {
 					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, r)
 				}
+				if errs[rank] != nil {
+					// Wake peers blocked on this rank instead of
+					// deadlocking the whole world.
+					w.markFailed(rank, errs[rank])
+				}
 				stats[rank] = c.Stats()
 			}()
 			errs[rank] = program(c)
@@ -300,7 +442,6 @@ func Run(w *World, program Program) ([]RankStats, error) {
 	for rank, err := range errs {
 		if err != nil {
 			firstErr = errors.Join(firstErr, fmt.Errorf("rank %d: %w", rank, err))
-			_ = rank
 		}
 	}
 	return stats, firstErr

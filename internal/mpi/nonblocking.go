@@ -66,7 +66,10 @@ func (r *Request) Wait() (any, error) {
 		c.advanceTo(r.sendEndsAt, PhaseComm)
 		return nil, nil
 	}
-	msg := <-c.world.mailbox(r.from, c.rank)
+	msg, err := c.awaitMessage(r.from)
+	if err != nil {
+		return nil, err
+	}
 	c.advanceTo(msg.arrives, PhaseIdle)
 	r.data = msg.data
 	return msg.data, nil

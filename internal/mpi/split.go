@@ -57,31 +57,11 @@ func Split(c *Comm, color, key int) (*Comm, error) {
 				}
 				return members[i].rank < members[j].rank
 			})
-			subProcs := make([]procSlot, len(members))
+			ranks := make([]int, len(members))
 			for i, m := range members {
-				subProcs[i] = procSlot{proc: w.procs[m.rank], parentRank: m.rank}
+				ranks[i] = m.rank
 			}
-			sub := &World{
-				procs:       extractProcs(subProcs),
-				rootRank:    0,
-				collectives: make(map[int]*collective),
-				mailboxes:   make(map[pairTag]chan message),
-				parentRanks: parentRanks(subProcs),
-			}
-			if w.transfer != nil {
-				// Inherit the custom model, translated to sub-ranks.
-				parent := w.transfer
-				ranks := sub.parentRanks
-				sub.transfer = func(from, to, items int) float64 {
-					return parent(ranks[from], ranks[to], items)
-				}
-			} else {
-				parentWorld := w
-				ranks := sub.parentRanks
-				sub.transfer = func(from, to, items int) float64 {
-					return parentWorld.starTransfer(ranks[from], ranks[to], items)
-				}
-			}
+			sub := w.subWorld(ranks, 0)
 			for i, m := range members {
 				outputs[m.rank] = subHandle{world: sub, rank: i}
 			}
@@ -109,26 +89,46 @@ type subHandle struct {
 	rank  int
 }
 
-// procSlot pairs a processor with its parent rank during a split.
-type procSlot struct {
-	proc       core.Processor
-	parentRank int
-}
-
-func extractProcs(slots []procSlot) []core.Processor {
-	out := make([]core.Processor, len(slots))
-	for i, s := range slots {
-		out[i] = s.proc
+// subWorld builds a world over a subset of this world's ranks (given
+// in sub-rank order), with rootPos as the sub-world's root. The child
+// inherits the transfer model (translated to sub-ranks), the
+// failure-injection configuration, and the mapping to top-level ranks
+// so fault plans keep following processors through splits. Collectives,
+// mailboxes and failure state are fresh: a failure already recorded in
+// the parent is the caller's concern (the fault-tolerant scatter only
+// puts survivors in its sub-world).
+func (w *World) subWorld(ranks []int, rootPos int) *World {
+	procs := make([]core.Processor, len(ranks))
+	tops := make([]int, len(ranks))
+	for i, r := range ranks {
+		procs[i] = w.procs[r]
+		tops[i] = w.globalRank(r)
 	}
-	return out
-}
-
-func parentRanks(slots []procSlot) []int {
-	out := make([]int, len(slots))
-	for i, s := range slots {
-		out[i] = s.parentRank
+	sub := &World{
+		procs:       procs,
+		rootRank:    rootPos,
+		parentRanks: append([]int(nil), ranks...),
+		topRanks:    tops,
+		fc:          w.fc,
+		collectives: make(map[int]*collective),
+		mailboxes:   make(map[pairTag]chan message),
+		failCh:      make(chan struct{}),
 	}
-	return out
+	if w.transfer != nil {
+		// Inherit the custom model, translated to sub-ranks.
+		parent := w.transfer
+		pr := sub.parentRanks
+		sub.transfer = func(from, to, items int) float64 {
+			return parent(pr[from], pr[to], items)
+		}
+	} else {
+		parentWorld := w
+		pr := sub.parentRanks
+		sub.transfer = func(from, to, items int) float64 {
+			return parentWorld.starTransfer(pr[from], pr[to], items)
+		}
+	}
+	return sub
 }
 
 // ParentRank maps a sub-communicator rank back to the parent world's

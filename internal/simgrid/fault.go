@@ -1,0 +1,45 @@
+package simgrid
+
+import "repro/internal/fault"
+
+// PlanWindows converts a fault plan into the simulator's rate windows,
+// cross-checking the runtime's failure injection against the
+// discrete-event model: a crash stops the rank's CPU and link forever
+// (a plain scatter to it never completes — FinishTime goes to +Inf), a
+// link drop stops the link for the window, and a slow link runs it at
+// 1/Factor speed. names maps plan ranks to processor names; faults on
+// ranks outside the slice are ignored. Link windows are clipped at the
+// rank's crash time so the resulting windows never overlap.
+func PlanWindows(plan *fault.Plan, names []string) (cpu, link map[string][]RateWindow) {
+	cpu = map[string][]RateWindow{}
+	link = map[string][]RateWindow{}
+	forever := inf()
+	for rank, name := range names {
+		ct, crashes := plan.CrashTime(rank)
+		if !crashes {
+			ct = forever
+		}
+		for _, f := range plan.Faults() {
+			if f.Rank != rank || f.Kind == fault.Crash {
+				continue
+			}
+			start, end := f.Start, f.End
+			if end > ct {
+				end = ct
+			}
+			if start >= end {
+				continue // entirely after the crash
+			}
+			factor := 0.0 // LinkDrop
+			if f.Kind == fault.SlowLink {
+				factor = 1 / f.Factor
+			}
+			link[name] = append(link[name], RateWindow{Start: start, End: end, Factor: factor})
+		}
+		if crashes {
+			cpu[name] = append(cpu[name], RateWindow{Start: ct, End: forever, Factor: 0})
+			link[name] = append(link[name], RateWindow{Start: ct, End: forever, Factor: 0})
+		}
+	}
+	return cpu, link
+}

@@ -1,0 +1,89 @@
+package simgrid
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/fault"
+)
+
+func TestPlanWindowsConversion(t *testing.T) {
+	plan := fault.MustPlan(
+		fault.Fault{Kind: fault.Crash, Rank: 0, Start: 5},
+		fault.Fault{Kind: fault.LinkDrop, Rank: 0, Start: 2, End: 8}, // clipped at the crash
+		fault.Fault{Kind: fault.SlowLink, Rank: 1, Start: 1, End: 3, Factor: 4},
+		fault.Fault{Kind: fault.LinkDrop, Rank: 9, Start: 0, End: 1}, // outside names: ignored
+	)
+	cpu, link := PlanWindows(plan, []string{"a", "b"})
+
+	if ws := cpu["a"]; len(ws) != 1 || ws[0].Start != 5 || !math.IsInf(ws[0].End, 1) || ws[0].Factor != 0 {
+		t.Errorf("cpu[a] = %+v, want one [5, +Inf) stop", ws)
+	}
+	if ws := link["a"]; len(ws) != 2 || ws[0] != (RateWindow{Start: 2, End: 5, Factor: 0}) {
+		t.Errorf("link[a] = %+v, want clipped drop [2, 5) then the crash stop", ws)
+	}
+	if ws := link["b"]; len(ws) != 1 || ws[0] != (RateWindow{Start: 1, End: 3, Factor: 0.25}) {
+		t.Errorf("link[b] = %+v, want one quarter-speed window [1, 3)", ws)
+	}
+	if len(cpu["b"]) != 0 {
+		t.Errorf("cpu[b] = %+v, want none", cpu["b"])
+	}
+	if len(link["c"])+len(cpu["c"]) != 0 {
+		t.Error("windows emitted for a name not in the slice")
+	}
+}
+
+func TestPlanWindowsNilPlan(t *testing.T) {
+	cpu, link := PlanWindows(nil, []string{"a"})
+	if len(cpu)+len(link) != 0 {
+		t.Errorf("nil plan produced windows: %v, %v", cpu, link)
+	}
+}
+
+// twoProcs returns a tiny platform in service order (root last).
+func twoProcs() []core.Processor {
+	return []core.Processor{
+		{Name: "worker", Comm: cost.Linear{PerItem: 1}, Comp: cost.Linear{PerItem: 1}},
+		{Name: "root", Comm: cost.Zero, Comp: cost.Linear{PerItem: 1}},
+	}
+}
+
+func TestCrashedRankNeverFinishesPlainScatter(t *testing.T) {
+	// Without fault tolerance, a scatter to a rank that crashes
+	// mid-transfer runs forever: the simulator's makespan is +Inf. This
+	// is the baseline the mpi.FaultTolerantScatterv recovery is
+	// measured against.
+	plan := fault.MustPlan(fault.Fault{Kind: fault.Crash, Rank: 0, Start: 2})
+	cpuW, linkW := PlanWindows(plan, []string{"worker"})
+	tl, err := Run(Config{
+		Procs:    twoProcs(),
+		Dist:     core.Distribution{4, 4},
+		CPULoad:  cpuW,
+		LinkLoad: linkW,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(tl.Makespan, 1) {
+		t.Errorf("makespan = %g, want +Inf", tl.Makespan)
+	}
+}
+
+func TestSlowLinkWindowStretchesReceive(t *testing.T) {
+	plan := fault.MustPlan(fault.Fault{Kind: fault.SlowLink, Rank: 0, Start: 0, End: 100, Factor: 2})
+	_, linkW := PlanWindows(plan, []string{"worker"})
+	tl, err := Run(Config{
+		Procs:    twoProcs(),
+		Dist:     core.Distribution{4, 4},
+		LinkLoad: linkW,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 items at 1 s/item over a half-speed link: recv ends at 8.
+	if got := tl.Procs[0].Recv.End; math.Abs(got-8) > 1e-9 {
+		t.Errorf("recv end = %g, want 8", got)
+	}
+}

@@ -1,0 +1,205 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mpi"
+)
+
+// This file renders the runtime's per-rank span timelines — richer
+// than the analytic schedule.Timeline, because a fault-tolerant run
+// has spans the analytic model lacks: timeouts holding the root's
+// port, backoff waits before retries, rebalance-round sends, and the
+// final silence of a crashed rank.
+
+// span colors, extending the figure palette.
+const (
+	colorRebalance = "#8055a5" // rebalance-round sends
+	colorTimeout   = "#e09040" // root port waiting on a lost send
+	colorBackoff   = "#b0b0b0" // retry backoff
+	colorCrashed   = "#404040" // a crashed rank's final idle
+)
+
+// isRebalance reports whether a comm span belongs to a rebalance round.
+func isRebalance(s mpi.Span) bool { return strings.HasPrefix(s.Label, "rebalance") }
+
+// spanChar maps a span to its ASCII Gantt cell. Plain idle renders as
+// the background ('.') and is skipped.
+func spanChar(s mpi.Span) (byte, bool) {
+	switch s.Phase {
+	case mpi.PhaseComm:
+		if isRebalance(s) {
+			return 'R', true
+		}
+		return '=', true
+	case mpi.PhaseComp:
+		return '#', true
+	case mpi.PhaseTimeout:
+		return '!', true
+	case mpi.PhaseBackoff:
+		return '~', true
+	default:
+		if s.Label == "crashed" {
+			return 'x', true
+		}
+		return 0, false
+	}
+}
+
+// RankGantt renders per-rank runtime spans as an ASCII Gantt chart,
+// width characters across: '=' communication, 'R' rebalance-round
+// communication, '#' computation, '!' timeout, '~' backoff, 'x' the
+// tail of a crashed rank, '.' idle.
+func RankGantt(stats []mpi.RankStats, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	makespan := 0.0
+	nameW := 0
+	for _, s := range stats {
+		if s.Finish > makespan {
+			makespan = s.Finish
+		}
+		for _, sp := range s.Spans {
+			if sp.End > makespan {
+				makespan = sp.End
+			}
+		}
+		if len(s.Name) > nameW {
+			nameW = len(s.Name)
+		}
+	}
+	if len(stats) == 0 || makespan <= 0 {
+		return "(empty timeline)\n"
+	}
+	scale := float64(width) / makespan
+
+	var sb strings.Builder
+	for _, s := range stats {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, sp := range s.Spans {
+			ch, ok := spanChar(sp)
+			if !ok {
+				continue
+			}
+			lo := int(sp.Start * scale)
+			hi := int(sp.End * scale)
+			if hi == lo {
+				hi = lo + 1 // spans are visible even when sub-cell
+			}
+			for i := lo; i < hi && i < width; i++ {
+				row[i] = ch
+			}
+		}
+		fmt.Fprintf(&sb, "%-*s |%s|\n", nameW, s.Name, row)
+	}
+	fmt.Fprintf(&sb, "%-*s  0%*s\n", nameW, "", width, fmt.Sprintf("%.1fs", makespan))
+	sb.WriteString("legend: = comm  R rebalance  # comp  ! timeout  ~ backoff  x crashed  . idle\n")
+	return sb.String()
+}
+
+// spanColor maps a span to its SVG fill; plain idle is skipped.
+func spanColor(s mpi.Span) (string, bool) {
+	switch s.Phase {
+	case mpi.PhaseComm:
+		if isRebalance(s) {
+			return colorRebalance, true
+		}
+		return colorComm, true
+	case mpi.PhaseComp:
+		return colorTotal, true
+	case mpi.PhaseTimeout:
+		return colorTimeout, true
+	case mpi.PhaseBackoff:
+		return colorBackoff, true
+	default:
+		if s.Label == "crashed" {
+			return colorCrashed, true
+		}
+		return "", false
+	}
+}
+
+// RankSVG renders per-rank runtime spans as an SVG Gantt: one row per
+// rank, each span a rectangle colored by kind, with its label and
+// bounds as a tooltip.
+func RankSVG(stats []mpi.RankStats, title string) string {
+	const (
+		w                    = 900.0
+		marginL, marginR     = 110.0, 30.0
+		marginTop, marginBot = 66.0, 40.0
+		rowH, rowGap         = 26.0, 8.0
+	)
+	makespan := 0.0
+	for _, s := range stats {
+		if s.Finish > makespan {
+			makespan = s.Finish
+		}
+		for _, sp := range s.Spans {
+			if sp.End > makespan {
+				makespan = sp.End
+			}
+		}
+	}
+	if len(stats) == 0 || makespan <= 0 {
+		return emptySVG(title)
+	}
+	n := len(stats)
+	h := marginTop + marginBot + float64(n)*(rowH+rowGap)
+	plotW := w - marginL - marginR
+	scale := plotW / makespan
+
+	var sb strings.Builder
+	svgHeader(&sb, w, h, title)
+	for i, s := range stats {
+		y := marginTop + float64(i)*(rowH+rowGap)
+		fmt.Fprintf(&sb, `<text x="%g" y="%g" font-size="12" text-anchor="end" fill="%s">%s</text>`+"\n",
+			marginL-8, y+rowH*0.7, colorText, xmlEscape(s.Name))
+		for _, sp := range s.Spans {
+			color, ok := spanColor(sp)
+			if !ok {
+				continue
+			}
+			label := sp.Label
+			if label == "" {
+				label = sp.Phase.String()
+			}
+			fmt.Fprintf(&sb, `<rect x="%g" y="%g" width="%g" height="%g" fill="%s"><title>%s [%.2fs, %.2fs]</title></rect>`+"\n",
+				marginL+sp.Start*scale, y, (sp.End-sp.Start)*scale, rowH, color,
+				xmlEscape(label), sp.Start, sp.End)
+		}
+	}
+	// Time axis.
+	axisY := marginTop + float64(n)*(rowH+rowGap) + 4
+	fmt.Fprintf(&sb, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s"/>`+"\n",
+		marginL, axisY, marginL+plotW, axisY, colorText)
+	for i := 0; i <= 5; i++ {
+		frac := float64(i) / 5
+		x := marginL + plotW*frac
+		fmt.Fprintf(&sb, `<text x="%g" y="%g" font-size="11" text-anchor="middle" fill="%s">%.1fs</text>`+"\n",
+			x, axisY+16, colorText, makespan*frac)
+	}
+	// Legend.
+	legend := []struct {
+		color, label string
+	}{
+		{colorComm, "comm"},
+		{colorRebalance, "rebalance"},
+		{colorTotal, "comp"},
+		{colorTimeout, "timeout"},
+		{colorBackoff, "backoff"},
+		{colorCrashed, "crashed"},
+	}
+	lx := marginL
+	for _, le := range legend {
+		fmt.Fprintf(&sb, `<rect x="%g" y="%g" width="12" height="12" fill="%s"/>`+"\n", lx, 26.0, le.color)
+		fmt.Fprintf(&sb, `<text x="%g" y="%g" font-size="12" fill="%s">%s</text>`+"\n", lx+16, 36.0, colorText, le.label)
+		lx += 110
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}

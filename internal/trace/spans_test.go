@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mpi"
+)
+
+// faultyStats builds a two-rank timeline exercising every span kind:
+// the root sends, times out, backs off, resends, then runs a rebalance
+// round; the worker receives and then crashes.
+func faultyStats() []mpi.RankStats {
+	return []mpi.RankStats{
+		{
+			Rank: 0, Name: "root", Finish: 10,
+			Spans: []mpi.Span{
+				{Phase: mpi.PhaseComm, Start: 0, End: 2, Label: "send→worker"},
+				{Phase: mpi.PhaseTimeout, Start: 2, End: 3, Label: "timeout→worker #1"},
+				{Phase: mpi.PhaseBackoff, Start: 3, End: 4, Label: "backoff→worker"},
+				{Phase: mpi.PhaseComm, Start: 4, End: 6, Label: "send→worker"},
+				{Phase: mpi.PhaseComm, Start: 6, End: 8, Label: "rebalance→other"},
+				{Phase: mpi.PhaseComp, Start: 8, End: 10},
+			},
+		},
+		{
+			Rank: 1, Name: "worker", Finish: 7,
+			Spans: []mpi.Span{
+				{Phase: mpi.PhaseComm, Start: 4, End: 6, Label: "send→worker"},
+				{Phase: mpi.PhaseIdle, Start: 6, End: 7, Label: "crashed"},
+			},
+		},
+	}
+}
+
+func TestRankGanttShowsAllSpanKinds(t *testing.T) {
+	out := RankGantt(faultyStats(), 60)
+	for _, ch := range []string{"=", "!", "~", "R", "#", "x"} {
+		if !strings.Contains(out, ch) {
+			t.Errorf("gantt missing %q:\n%s", ch, out)
+		}
+	}
+	if !strings.Contains(out, "root") || !strings.Contains(out, "worker") {
+		t.Errorf("gantt missing rank names:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // 2 ranks + axis + legend
+		t.Errorf("gantt has %d lines, want 4:\n%s", len(lines), out)
+	}
+}
+
+func TestRankGanttEmpty(t *testing.T) {
+	if out := RankGantt(nil, 40); !strings.Contains(out, "empty") {
+		t.Errorf("empty gantt = %q", out)
+	}
+}
+
+func TestRankSVGDistinctColors(t *testing.T) {
+	out := RankSVG(faultyStats(), "fault run")
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(out, "</svg>\n") {
+		t.Fatalf("not an svg document: %.60q...", out)
+	}
+	for _, color := range []string{colorComm, colorRebalance, colorTotal, colorTimeout, colorBackoff, colorCrashed} {
+		if !strings.Contains(out, color) {
+			t.Errorf("svg missing color %s", color)
+		}
+	}
+	for _, label := range []string{"timeout→worker #1", "rebalance→other", "crashed"} {
+		if !strings.Contains(out, xmlEscape(label)) {
+			t.Errorf("svg missing tooltip %q", label)
+		}
+	}
+}
+
+func TestRankSVGEmpty(t *testing.T) {
+	out := RankSVG(nil, "nothing")
+	if !strings.Contains(out, "empty timeline") {
+		t.Errorf("empty svg = %q", out)
+	}
+}
