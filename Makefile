@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-fault figures ci
+.PHONY: all build vet test race bench bench-fault figures fmt lint check ci
 
 all: build
 
@@ -28,4 +28,23 @@ bench-fault:
 figures:
 	$(GO) run ./examples/faultdemo
 
-ci: vet build race
+# Fail if any file needs gofmt (testdata fixtures included).
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "files need gofmt:"; echo "$$out"; exit 1; \
+	fi
+
+bin/scatterlint: $(wildcard cmd/scatterlint/*.go internal/lint/*.go)
+	$(GO) build -o $@ ./cmd/scatterlint
+
+# Run the domain-invariant analyzers (internal/lint) over the whole
+# module through the standard vet driver. Suppress a finding with
+#   //scatterlint:ignore <analyzer> <reason>
+lint: bin/scatterlint
+	$(GO) vet -vettool=$(CURDIR)/bin/scatterlint ./...
+
+# Umbrella gate: everything CI enforces, in one target.
+check: build vet lint race
+
+ci: fmt check

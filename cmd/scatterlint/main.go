@@ -1,0 +1,144 @@
+// Scatterlint runs this repository's domain-invariant analyzers
+// (internal/lint) over Go packages. It works in two modes:
+//
+//   - as a vet tool, speaking the unitchecker protocol:
+//     go vet -vettool=$(pwd)/bin/scatterlint ./...
+//   - standalone, loading packages itself via `go list -export`:
+//     scatterlint ./...
+//
+// Both modes honor //scatterlint:ignore <analyzer> <reason> directives
+// and exit nonzero when findings remain.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("scatterlint: ")
+
+	jsonOut := flag.Bool("json", false, "emit JSON output")
+	printflags := flag.Bool("flags", false, "print analyzer flags in JSON (for go vet)")
+	flag.Int("c", -1, "display offending line with this many lines of context (ignored)")
+	flag.Var(versionFlag{}, "V", "print version and exit (for go vet)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, `scatterlint enforces the simulator's MPI and cost-model invariants.
+
+Usage:
+  scatterlint [packages]          # standalone, defaults to ./...
+  go vet -vettool=scatterlint ... # as a vet tool
+  scatterlint help                # list analyzers
+
+`)
+		os.Exit(2)
+	}
+	flag.Parse()
+
+	if *printflags {
+		printFlagDefs()
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && args[0] == "help" {
+		for _, a := range lint.All() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	// go vet invokes the tool with a single JSON config file argument.
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		code, err := lint.RunUnit(args[0], lint.All(), *jsonOut, os.Stdout, os.Stderr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Exit(code)
+	}
+
+	os.Exit(standalone(args, *jsonOut))
+}
+
+// standalone loads the requested packages (./... by default) and runs
+// the suite, printing findings to stderr. Exit code 0 means clean, 1
+// means findings.
+func standalone(patterns []string, jsonOut bool) int {
+	loader := lint.NewLoader(".")
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exit := 0
+	for _, pkg := range pkgs {
+		diags, err := lint.RunAnalyzers(pkg, lint.All())
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, lint.Format(pkg.Fset, d))
+			exit = 1
+		}
+	}
+	_ = jsonOut // standalone mode prints plain text; JSON is for go vet
+	return exit
+}
+
+// printFlagDefs describes the supported flags to go vet, which queries
+// them with `scatterlint -flags` before deciding what it may pass.
+func printFlagDefs() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var defs []jsonFlag
+	flag.VisitAll(func(f *flag.Flag) {
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		defs = append(defs, jsonFlag{f.Name, ok && b.IsBoolFlag(), f.Usage})
+	})
+	data, err := json.MarshalIndent(defs, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+}
+
+// versionFlag implements the -V=full protocol go vet uses to fold the
+// tool's identity into its build cache key: the output must be
+// "<name> version devel ... buildID=<hash>".
+type versionFlag struct{}
+
+func (versionFlag) IsBoolFlag() bool { return true }
+func (versionFlag) Get() any         { return nil }
+func (versionFlag) String() string   { return "" }
+func (versionFlag) Set(s string) error {
+	if s != "full" {
+		log.Fatalf("unsupported flag value: -V=%s (use -V=full)", s)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", exe, string(h.Sum(nil)))
+	os.Exit(0)
+	return nil
+}

@@ -219,6 +219,7 @@ func TestSolveLinearRationalErrors(t *testing.T) {
 	if _, err := SolveLinearRational([]LinearProcessor{{Alpha: 0, Beta: 1}}, -1); err == nil {
 		t.Error("negative n accepted")
 	}
+	//scatterlint:ignore costinvariant invalid on purpose: exercises the solver's rejection of negative alpha
 	if _, err := SolveLinearRational([]LinearProcessor{{Alpha: -1, Beta: 1}}, 5); err == nil {
 		t.Error("negative alpha accepted")
 	}

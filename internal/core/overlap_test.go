@@ -140,6 +140,7 @@ func TestOverlapValidation(t *testing.T) {
 	if _, err := SolveLinearRootOverlap([]LinearProcessor{{Beta: 1}}, -1); err == nil {
 		t.Error("negative n accepted")
 	}
+	//scatterlint:ignore costinvariant invalid on purpose: exercises the solver's rejection of negative alpha
 	if _, err := SolveLinearRootOverlap([]LinearProcessor{{Alpha: -1, Beta: 1}}, 5); err == nil {
 		t.Error("negative alpha accepted")
 	}

@@ -89,8 +89,8 @@ func TestTableValidate(t *testing.T) {
 	}{
 		{"valid", Table{Values: []float64{0, 1, 2}, Increasing: true}, false},
 		{"empty", Table{}, true},
-		{"nonzero origin", Table{Values: []float64{1, 2}}, true},
-		{"negative entry", Table{Values: []float64{0, -1}}, true},
+		{"nonzero origin", Table{Values: []float64{1, 2}}, true},  //scatterlint:ignore costinvariant invalid on purpose: Validate must reject it
+		{"negative entry", Table{Values: []float64{0, -1}}, true}, //scatterlint:ignore costinvariant invalid on purpose: Validate must reject it
 		{"nan entry", Table{Values: []float64{0, math.NaN()}}, true},
 		{"declared increasing but is not", Table{Values: []float64{0, 2, 1}, Increasing: true}, true},
 		{"non-monotone but not declared", Table{Values: []float64{0, 2, 1}}, false},
@@ -144,7 +144,7 @@ func TestPiecewiseLinearValidate(t *testing.T) {
 	if err := bad.Validate(); err == nil {
 		t.Error("duplicate X validated")
 	}
-	neg := PiecewiseLinear{Points: []Breakpoint{{X: 5, Y: -1}}}
+	neg := PiecewiseLinear{Points: []Breakpoint{{X: 5, Y: -1}}} //scatterlint:ignore costinvariant invalid on purpose: Validate must reject it
 	if err := neg.Validate(); err == nil {
 		t.Error("negative Y validated")
 	}

@@ -1,0 +1,112 @@
+package lint
+
+// An analysistest-style harness built on the standard library: a
+// fixture directory is loaded and type-checked, one analyzer runs,
+// and the diagnostics are matched line-by-line against
+//
+//	// want "regexp" ["regexp" ...]
+//
+// comments in the fixture source. Every want must be matched by a
+// diagnostic on its line and every diagnostic must match a want, so
+// fixtures pin both the positives and the silences.
+
+import (
+	"fmt"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// sharedLoader caches export data across fixture tests; `go list
+// -export` is the slow step and its results are identical per test
+// binary run.
+var sharedLoader = NewLoader(".")
+
+// wantRE extracts quoted patterns from a want comment.
+var wantRE = regexp.MustCompile(`// want ("[^"]+")(?:\s+("[^"]+"))*`)
+
+// quotedRE pulls the individual quoted patterns back out.
+var quotedRE = regexp.MustCompile(`"([^"]+)"`)
+
+// expectation is one want pattern awaiting a matching diagnostic.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// parseWants scans a fixture file for want comments.
+func parseWants(t *testing.T, path string) []*expectation {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*expectation
+	for i, line := range strings.Split(string(data), "\n") {
+		m := wantRE.FindString(line)
+		if m == "" {
+			continue
+		}
+		for _, q := range quotedRE.FindAllStringSubmatch(m, -1) {
+			re, err := regexp.Compile(q[1])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want pattern %q: %v", path, i+1, q[1], err)
+			}
+			wants = append(wants, &expectation{file: path, line: i + 1, pattern: re})
+		}
+	}
+	return wants
+}
+
+// runFixture loads dir under importPath, runs just the one analyzer,
+// and checks its diagnostics against the fixture's want comments.
+func runFixture(t *testing.T, a *Analyzer, dir, importPath string) {
+	t.Helper()
+	pkg, err := sharedLoader.LoadDir(dir, importPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := RunAnalyzers(pkg, []*Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wants []*expectation
+	seen := map[string]bool{}
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		if !seen[name] {
+			seen[name] = true
+			wants = append(wants, parseWants(t, name)...)
+		}
+	}
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		ok := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.pattern.MatchString(d.Message) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", Format(pkg.Fset, d))
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// fixturePath names a fixture directory and the import path to check
+// it under (simclock's rule is keyed on the import path).
+func fixturePath(name string) string {
+	return fmt.Sprintf("testdata/%s", name)
+}

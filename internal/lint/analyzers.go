@@ -1,0 +1,24 @@
+package lint
+
+// All returns the full scatterlint analyzer suite, in the order
+// findings are most useful to read: protocol hazards first, model
+// preconditions after.
+func All() []*Analyzer {
+	return []*Analyzer{
+		MPIErrCheck,
+		CollectiveOrder,
+		SimClock,
+		CostInvariant,
+		MutexChan,
+	}
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,254 @@
+package lint
+
+import (
+	"go/ast"
+	"slices"
+	"strings"
+)
+
+// CollectiveOrder flags the classic mismatched-collective deadlock: a
+// rank-dependent branch (a condition on Comm.Rank or Comm.IsRoot)
+// whose two paths execute different collective sequences. Every
+// collective in this runtime is a rendezvous — all ranks of the world
+// must call it, in the same per-rank order — so a collective reached
+// by only some ranks leaves the callers waiting for peers that never
+// arrive. The paper's single-port, rank-ordered scatter (Section 2.3)
+// makes the ordering part of the contract, not an implementation
+// detail.
+var CollectiveOrder = &Analyzer{
+	Name: "collectiveorder",
+	Doc: "collective calls under rank-dependent branches (c.Rank()/c.IsRoot() " +
+		"conditions) must be matched on the other path; a collective only some " +
+		"ranks reach deadlocks the world",
+	Run: runCollectiveOrder,
+}
+
+// collectiveFuncs are the rendezvous-based entry points of the mpi
+// package: every rank of the world must call them, in matching order.
+// Point-to-point Send/Recv/Isend/Irecv are deliberately absent — they
+// are rank-directed by design.
+var collectiveFuncs = map[string]bool{
+	"Scatterv":              true,
+	"Scatter":               true,
+	"Gatherv":               true,
+	"Bcast":                 true,
+	"Barrier":               true,
+	"Reduce":                true,
+	"Allreduce":             true,
+	"BcastBinomial":         true,
+	"ScattervBinomial":      true,
+	"FaultTolerantScatterv": true,
+	"Split":                 true,
+}
+
+func runCollectiveOrder(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			// Visit every statement list so each if statement is checked
+			// with its block context (the statements following it).
+			switch v := n.(type) {
+			case *ast.BlockStmt:
+				checkStmtList(pass, v.List)
+			case *ast.CaseClause:
+				checkStmtList(pass, v.Body)
+			case *ast.CommClause:
+				checkStmtList(pass, v.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkStmtList examines each rank-dependent if statement of one
+// statement list. Nested blocks are reached by the file-level
+// inspection, not here.
+func checkStmtList(pass *Pass, stmts []ast.Stmt) {
+	for i, s := range stmts {
+		ifStmt, ok := s.(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		checkIf(pass, ifStmt, stmts[i+1:])
+	}
+}
+
+// checkIf compares the collective sequences of a rank-dependent if
+// statement's two paths. With an explicit else, the branches are
+// compared directly. Without one, the comparison depends on whether
+// the branch terminates: a branch ending in return or panic never
+// reaches the code after the if, so the statements following the if
+// ARE the other path; a branch that falls through executes that code
+// too, so any collective inside it is unmatched by construction.
+func checkIf(pass *Pass, ifStmt *ast.IfStmt, rest []ast.Stmt) {
+	// An else-if chain: hand the nested if the same continuation.
+	if elseIf, ok := ifStmt.Else.(*ast.IfStmt); ok {
+		checkIf(pass, elseIf, rest)
+	}
+	if !rankDependent(pass, ifStmt.Cond) {
+		return
+	}
+	thenSeq := collectiveSeqStmt(pass, ifStmt.Body)
+	if ifStmt.Else != nil {
+		elseSeq := collectiveSeqStmt(pass, ifStmt.Else)
+		if !slices.Equal(thenSeq, elseSeq) {
+			pass.Reportf(ifStmt.Pos(),
+				"rank-dependent branches call mismatched collectives (%s vs %s): ranks taking different paths wait on each other forever",
+				describeSeq(thenSeq), describeSeq(elseSeq))
+		}
+		return
+	}
+	if terminates(ifStmt.Body) {
+		var restSeq []string
+		for _, s := range rest {
+			restSeq = append(restSeq, collectiveSeqStmt(pass, s)...)
+		}
+		if !slices.Equal(thenSeq, restSeq) {
+			pass.Reportf(ifStmt.Pos(),
+				"rank-dependent paths call mismatched collectives (branch: %s, fall-through: %s): ranks taking different paths wait on each other forever",
+				describeSeq(thenSeq), describeSeq(restSeq))
+		}
+		return
+	}
+	if len(thenSeq) > 0 {
+		pass.Reportf(ifStmt.Pos(),
+			"collectives (%s) under a rank-dependent condition with no matching path: ranks that skip the branch never arrive at the rendezvous",
+			describeSeq(thenSeq))
+	}
+}
+
+// terminates reports whether a block always transfers control away
+// (ends in return or panic), meaning the code after the enclosing if
+// is unreachable from it.
+func terminates(body *ast.BlockStmt) bool {
+	if body == nil || len(body.List) == 0 {
+		return false
+	}
+	switch last := body.List[len(body.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(last.X).(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// rankDependent reports whether the condition consults the caller's
+// rank: a call to (*Comm).Rank or (*Comm).IsRoot anywhere inside it.
+func rankDependent(pass *Pass, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.TypesInfo, call)
+		if isMPIFunc(fn) && (fn.Name() == "Rank" || fn.Name() == "IsRoot") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// collectiveSeqStmt returns the in-order sequence of collective call
+// names a statement executes. A nested if whose branches agree
+// contributes its sequence once; a disagreeing nested if contributes
+// both branches (and is reported in its own right when it is
+// rank-dependent).
+func collectiveSeqStmt(pass *Pass, s ast.Stmt) []string {
+	switch v := s.(type) {
+	case nil:
+		return nil
+	case *ast.BlockStmt:
+		var out []string
+		for _, st := range v.List {
+			out = append(out, collectiveSeqStmt(pass, st)...)
+		}
+		return out
+	case *ast.IfStmt:
+		out := collectiveSeqStmt(pass, v.Init)
+		out = append(out, collectiveSeqExpr(pass, v.Cond)...)
+		thenSeq := collectiveSeqStmt(pass, v.Body)
+		elseSeq := collectiveSeqStmt(pass, v.Else)
+		if slices.Equal(thenSeq, elseSeq) {
+			return append(out, thenSeq...)
+		}
+		return append(append(out, thenSeq...), elseSeq...)
+	case *ast.ForStmt:
+		out := collectiveSeqStmt(pass, v.Init)
+		out = append(out, collectiveSeqExpr(pass, v.Cond)...)
+		out = append(out, collectiveSeqStmt(pass, v.Body)...)
+		return append(out, collectiveSeqStmt(pass, v.Post)...)
+	case *ast.RangeStmt:
+		out := collectiveSeqExpr(pass, v.X)
+		return append(out, collectiveSeqStmt(pass, v.Body)...)
+	case *ast.SwitchStmt:
+		out := collectiveSeqStmt(pass, v.Init)
+		out = append(out, collectiveSeqExpr(pass, v.Tag)...)
+		return append(out, collectiveSeqStmt(pass, v.Body)...)
+	case *ast.TypeSwitchStmt:
+		out := collectiveSeqStmt(pass, v.Init)
+		out = append(out, collectiveSeqStmt(pass, v.Assign)...)
+		return append(out, collectiveSeqStmt(pass, v.Body)...)
+	case *ast.SelectStmt:
+		return collectiveSeqStmt(pass, v.Body)
+	case *ast.CaseClause:
+		var out []string
+		for _, e := range v.List {
+			out = append(out, collectiveSeqExpr(pass, e)...)
+		}
+		for _, st := range v.Body {
+			out = append(out, collectiveSeqStmt(pass, st)...)
+		}
+		return out
+	case *ast.CommClause:
+		out := collectiveSeqStmt(pass, v.Comm)
+		for _, st := range v.Body {
+			out = append(out, collectiveSeqStmt(pass, st)...)
+		}
+		return out
+	case *ast.LabeledStmt:
+		return collectiveSeqStmt(pass, v.Stmt)
+	default:
+		// Leaf statements (assignments, returns, expression statements,
+		// declarations, ...) contain no nested statements outside
+		// function literals; scan their expressions directly.
+		return collectiveSeqExpr(pass, s)
+	}
+}
+
+// collectiveSeqExpr collects collective call names from an expression
+// tree (or leaf statement), ignoring function literals: a collective
+// inside a closure runs when the closure runs, not here.
+func collectiveSeqExpr(pass *Pass, n ast.Node) []string {
+	if n == nil {
+		return nil
+	}
+	var out []string
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch v := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if fn := calleeFunc(pass.TypesInfo, v); isMPIFunc(fn) && collectiveFuncs[fn.Name()] {
+				out = append(out, fn.Name())
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// describeSeq renders a collective sequence for a diagnostic.
+func describeSeq(seq []string) string {
+	if len(seq) == 0 {
+		return "none"
+	}
+	return strings.Join(seq, "→")
+}

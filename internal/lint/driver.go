@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// directivePrefix introduces a suppression comment:
+//
+//	//scatterlint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// The directive suppresses the named analyzers' findings on its own
+// line and on the line below it (so it can trail the offending
+// statement or sit on its own line above it). The reason is
+// mandatory: an unexplained suppression is itself reported.
+const directivePrefix = "//scatterlint:ignore"
+
+// ignoreDirective is one parsed suppression comment.
+type ignoreDirective struct {
+	pos       token.Pos
+	analyzers map[string]bool
+	reason    string
+}
+
+// parseDirectives extracts every scatterlint:ignore directive from the
+// files, reporting malformed ones (no analyzer, no reason) as
+// diagnostics attributed to the driver itself.
+func parseDirectives(fset *token.FileSet, files []*ast.File, report func(Diagnostic)) []*ignoreDirective {
+	var dirs []*ignoreDirective
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					report(Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "scatterlint",
+						Message:  "malformed scatterlint:ignore directive: want //scatterlint:ignore <analyzer> <reason>",
+					})
+					continue
+				}
+				names := make(map[string]bool)
+				for _, n := range strings.Split(fields[0], ",") {
+					names[n] = true
+				}
+				dirs = append(dirs, &ignoreDirective{
+					pos:       c.Pos(),
+					analyzers: names,
+					reason:    strings.Join(fields[1:], " "),
+				})
+			}
+		}
+	}
+	return dirs
+}
+
+// suppressed reports whether d is covered by a directive: one naming
+// d.Analyzer (or "all") on the diagnostic's line or the line above.
+func suppressed(fset *token.FileSet, dirs []*ignoreDirective, d Diagnostic) bool {
+	if len(dirs) == 0 {
+		return false
+	}
+	pos := fset.Position(d.Pos)
+	for _, dir := range dirs {
+		if !dir.analyzers[d.Analyzer] && !dir.analyzers["all"] {
+			continue
+		}
+		dp := fset.Position(dir.pos)
+		if dp.Filename != pos.Filename {
+			continue
+		}
+		if dp.Line == pos.Line || dp.Line == pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// RunAnalyzers applies the analyzers to one loaded package and returns
+// the surviving diagnostics, sorted by position. Findings covered by a
+// scatterlint:ignore directive are dropped.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var raw []Diagnostic
+	collect := func(d Diagnostic) { raw = append(raw, d) }
+
+	dirs := parseDirectives(pkg.Fset, pkg.Files, collect)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Pkg,
+			TypesInfo: pkg.Info,
+			Report: func(d Diagnostic) {
+				d.Analyzer = a.Name
+				raw = append(raw, d)
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("lint: %s on %s: %v", a.Name, pkg.Path, err)
+		}
+	}
+
+	var kept []Diagnostic
+	for _, d := range raw {
+		if !suppressed(pkg.Fset, dirs, d) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].Pos < kept[j].Pos })
+	return kept, nil
+}
+
+// Format renders a diagnostic the way `go vet` does:
+// file:line:col: message (analyzer).
+func Format(fset *token.FileSet, d Diagnostic) string {
+	return fmt.Sprintf("%s: %s (%s)", fset.Position(d.Pos), d.Message, d.Analyzer)
+}

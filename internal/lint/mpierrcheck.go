@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MPIErrCheck flags calls into repro/internal/mpi whose error result
+// is discarded. In this runtime every error can wrap ErrRankFailed:
+// dropping it converts a detectable rank failure into a silent hang,
+// because the survivor keeps executing a collective sequence its dead
+// peer will never match (the exact deadlock class the fail-fast
+// machinery of PR 1 exists to surface).
+var MPIErrCheck = &Analyzer{
+	Name: "mpierrcheck",
+	Doc: "every error returned by the mpi runtime (Send, Recv, Wait, Scatterv, " +
+		"FaultTolerantScatterv, ...) must be consumed: unchecked errors hide rank " +
+		"failures and turn them into hangs",
+	Run: runMPIErrCheck,
+}
+
+func runMPIErrCheck(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+					checkDiscardedCall(pass, call, "discarded")
+				}
+			case *ast.GoStmt:
+				checkDiscardedCall(pass, s.Call, "discarded by go statement")
+			case *ast.DeferStmt:
+				checkDiscardedCall(pass, s.Call, "discarded by defer statement")
+			case *ast.AssignStmt:
+				checkAssignedError(pass, s)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// mpiErrorCall reports whether call targets an mpi function whose last
+// result is an error, returning the function and that result's index.
+func mpiErrorCall(pass *Pass, call *ast.CallExpr) (*types.Func, int, bool) {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if !isMPIFunc(fn) {
+		return nil, 0, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil, 0, false
+	}
+	idx, ok := sigReturnsError(sig)
+	if !ok {
+		return nil, 0, false
+	}
+	return fn, idx, true
+}
+
+// checkDiscardedCall reports a call whose results are dropped wholesale
+// (expression statement, go, defer).
+func checkDiscardedCall(pass *Pass, call *ast.CallExpr, how string) {
+	if fn, _, ok := mpiErrorCall(pass, call); ok {
+		pass.Reportf(call.Pos(), "error from %s %s: a failed rank would go unnoticed and hang its peers", funcDisplayName(fn), how)
+	}
+}
+
+// checkAssignedError reports assignments that route an mpi error to the
+// blank identifier, in both forms:
+//
+//	_, _ = mpi.Scatterv(...)    // single call, tuple assignment
+//	a, _ := f(), c.Send(...)    // parallel assignment, one value each
+func checkAssignedError(pass *Pass, s *ast.AssignStmt) {
+	if len(s.Rhs) == 1 {
+		call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn, idx, ok := mpiErrorCall(pass, call)
+		if !ok || idx >= len(s.Lhs) {
+			return
+		}
+		if isBlank(s.Lhs[idx]) {
+			pass.Reportf(call.Pos(), "error from %s assigned to _: a failed rank would go unnoticed and hang its peers", funcDisplayName(fn))
+		}
+		return
+	}
+	for i, rhs := range s.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || i >= len(s.Lhs) {
+			continue
+		}
+		if fn, _, ok := mpiErrorCall(pass, call); ok && isBlank(s.Lhs[i]) {
+			pass.Reportf(call.Pos(), "error from %s assigned to _: a failed rank would go unnoticed and hang its peers", funcDisplayName(fn))
+		}
+	}
+}
+
+// isBlank reports whether e is the blank identifier.
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SimClock enforces the virtual-time discipline of the simulated
+// packages: inside internal/mpi, internal/simgrid and internal/fault
+// all time must flow through Comm.Clock() / the engine's clock, and
+// all randomness through explicitly seeded sources (fault plans,
+// noise configs). Wall-clock reads make makespans irreproducible;
+// real sleeps stall the rank goroutines without advancing virtual
+// time; the global math/rand source is shared, unseeded state that
+// destroys run-to-run determinism. Test files are exempt: watchdog
+// timeouts in tests legitimately use the wall clock.
+var SimClock = &Analyzer{
+	Name: "simclock",
+	Doc: "simulated-time packages (internal/mpi, internal/simgrid, internal/fault) " +
+		"must not call time.Now/time.Sleep or the global math/rand source; use " +
+		"Comm.Clock() and seeded rand.New(rand.NewSource(seed))",
+	Run: runSimClock,
+}
+
+// simulatedPkgPrefixes are the import-path prefixes the discipline
+// applies to.
+var simulatedPkgPrefixes = []string{
+	"repro/internal/mpi",
+	"repro/internal/simgrid",
+	"repro/internal/fault",
+}
+
+// wallClockFuncs are the time package functions that read or wait on
+// the wall clock. Pure constructors and conversions (time.Duration,
+// time.Unix) are fine: they do not observe real time.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Since":     true,
+	"Until":     true,
+}
+
+// seededRandFuncs are the math/rand (and rand/v2) package-level
+// functions that construct explicitly seeded sources; every other
+// package-level function draws from the shared global source.
+var seededRandFuncs = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+func runSimClock(pass *Pass) error {
+	if !isSimulatedPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if fname := pass.Fset.Position(file.Pos()).Filename; strings.HasSuffix(fname, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			recv := fn.Type().(*types.Signature).Recv()
+			switch fn.Pkg().Path() {
+			case "time":
+				if recv == nil && wallClockFuncs[fn.Name()] {
+					pass.Reportf(call.Pos(), "time.%s reads the wall clock inside a simulated-time package: all time must flow through the virtual clock (Comm.Clock)", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if recv == nil && !seededRandFuncs[fn.Name()] {
+					pass.Reportf(call.Pos(), "%s.%s draws from the global unseeded source: simulated packages must use a seeded *rand.Rand so runs are reproducible", fn.Pkg().Name(), fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isSimulatedPkg reports whether path falls under a simulated-time
+// package tree.
+func isSimulatedPkg(path string) bool {
+	for _, prefix := range simulatedPkgPrefixes {
+		if path == prefix || strings.HasPrefix(path, prefix+"/") {
+			return true
+		}
+	}
+	return false
+}

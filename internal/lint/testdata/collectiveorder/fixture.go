@@ -1,0 +1,112 @@
+// Package fixture exercises the collectiveorder analyzer: collective
+// calls under rank-dependent branches must be matched on every path.
+package fixture
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// unmatchedBcast is the textbook mismatch: only the root broadcasts,
+// so non-root ranks never enter the rendezvous.
+func unmatchedBcast(c *mpi.Comm, data []int) error {
+	if c.IsRoot() { // want "collectives .Bcast. under a rank-dependent condition with no matching path"
+		if _, err := mpi.Bcast(c, data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// deadlockShape reproduces internal/mpi/failfast_test.go: one rank
+// deserts (returns early) while the others park in a barrier.
+func deadlockShape(c *mpi.Comm) error {
+	if c.Rank() == 1 { // want "rank-dependent paths call mismatched collectives .branch: none, fall-through: Barrier."
+		return fmt.Errorf("rank 1 gives up")
+	}
+	return mpi.Barrier(c)
+}
+
+// orderSwap calls the same collectives on both paths but in opposite
+// orders — with rank-ordered single-port collectives this deadlocks
+// just as surely as a missing call.
+func orderSwap(c *mpi.Comm, data []int) error {
+	if c.IsRoot() { // want "mismatched collectives .Gatherv→Barrier vs Barrier→Gatherv."
+		if _, err := mpi.Gatherv(c, data); err != nil {
+			return err
+		}
+		if err := mpi.Barrier(c); err != nil {
+			return err
+		}
+	} else {
+		if err := mpi.Barrier(c); err != nil {
+			return err
+		}
+		if _, err := mpi.Gatherv(c, data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// matched branches are fine: every rank calls Scatterv exactly once.
+func matched(c *mpi.Comm, data []int) error {
+	if c.IsRoot() {
+		_, err := mpi.Scatterv(c, data, []int{1, 1})
+		return err
+	}
+	_, err := mpi.Scatterv[int](c, nil, nil)
+	return err
+}
+
+// explicitElse with identical sequences is fine.
+func explicitElse(c *mpi.Comm, data []int) error {
+	if c.Rank() == 0 {
+		_, err := mpi.Bcast(c, data)
+		return err
+	} else {
+		_, err := mpi.Bcast[int](c, nil)
+		return err
+	}
+}
+
+// nonRankCondition: branching on data, not rank, is no hazard — every
+// rank takes the same path.
+func nonRankCondition(c *mpi.Comm, data []int) error {
+	if len(data) > 0 {
+		return mpi.Barrier(c)
+	}
+	return nil
+}
+
+// balancedNested folds a nested if whose branches agree: both outer
+// paths execute Bcast then Barrier.
+func balancedNested(c *mpi.Comm, data []int, verbose bool) error {
+	if c.IsRoot() {
+		if verbose {
+			if _, err := mpi.Bcast(c, data); err != nil {
+				return err
+			}
+		} else {
+			if _, err := mpi.Bcast(c, data); err != nil {
+				return err
+			}
+		}
+		return mpi.Barrier(c)
+	}
+	if _, err := mpi.Bcast[int](c, nil); err != nil {
+		return err
+	}
+	return mpi.Barrier(c)
+}
+
+// pointToPoint: Send/Recv are rank-directed by design and must not be
+// flagged.
+func pointToPoint(c *mpi.Comm, data []int) error {
+	if c.IsRoot() {
+		return c.Send(1, data, len(data))
+	}
+	_, err := c.Recv(c.Root())
+	return err
+}

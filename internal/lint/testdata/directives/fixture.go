@@ -1,0 +1,17 @@
+// Package fixture exercises the //scatterlint:ignore directive: a
+// directive naming the analyzer suppresses findings on its line and
+// the line below; a directive without a reason is itself reported.
+package fixture
+
+import "repro/internal/cost"
+
+// Suppressed on the same line.
+var sameLine = cost.Linear{PerItem: -1} //scatterlint:ignore costinvariant negative on purpose to exercise the directive
+
+// Suppressed from the line above.
+//
+//scatterlint:ignore costinvariant negative on purpose to exercise the directive
+var lineAbove = cost.Linear{PerItem: -2}
+
+// A directive naming a different analyzer does not apply.
+var wrongName = cost.Linear{PerItem: -3} //scatterlint:ignore mpierrcheck wrong analyzer name // want "Linear.PerItem is negative"

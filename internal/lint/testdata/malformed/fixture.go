@@ -1,0 +1,7 @@
+// Package fixture holds a scatterlint:ignore directive with no
+// reason; the driver must report it rather than honor it. Checked
+// programmatically (a line comment cannot carry a trailing want).
+package fixture
+
+//scatterlint:ignore costinvariant
+var x = 1

@@ -1,0 +1,43 @@
+// Package fixture exercises the mpierrcheck analyzer: every error
+// returned by the mpi runtime must be consumed.
+package fixture
+
+import "repro/internal/mpi"
+
+func discards(c *mpi.Comm, data []int) {
+	c.Send(1, data, len(data))                      // want "error from .*Send discarded"
+	c.Recv(0)                                       // want "error from .*Recv discarded"
+	mpi.Barrier(c)                                  // want "error from mpi.Barrier discarded"
+	go c.Send(2, data, 1)                           // want "error from .*Send discarded by go statement"
+	defer c.Send(3, data, 1)                        // want "error from .*Send discarded by defer statement"
+	mpi.Scatterv(c, data, []int{1, 2})              // want "error from mpi.Scatterv discarded"
+	mpi.FaultTolerantScatterv(c, data, []int{1, 2}) // want "error from mpi.FaultTolerantScatterv discarded"
+}
+
+func blanks(c *mpi.Comm, data []int) {
+	_, _ = mpi.Scatterv(c, data, []int{1, 2}) // want "error from mpi.Scatterv assigned to _"
+	_ = mpi.Barrier(c)                        // want "error from mpi.Barrier assigned to _"
+	req, _ := c.Isend(1, data, 1)             // want "error from .*Isend assigned to _"
+	_, _ = req.Wait()                         // want "error from .*Wait assigned to _"
+	buf, _ := mpi.Gatherv(c, data)            // want "error from mpi.Gatherv assigned to _"
+	_ = buf
+	a, _ := len(data), mpi.Barrier(c) // want "error from mpi.Barrier assigned to _"
+	_ = a
+}
+
+func consumed(c *mpi.Comm, data []int) error {
+	if err := c.Send(1, data, len(data)); err != nil {
+		return err
+	}
+	chunk, err := mpi.Scatterv(c, data, []int{1, 2})
+	if err != nil {
+		return err
+	}
+	_ = chunk
+	return mpi.Barrier(c)
+}
+
+// Wait's error flowing into a tuple return is consumed.
+func passthrough(req *mpi.Request) (any, error) {
+	return req.Wait()
+}

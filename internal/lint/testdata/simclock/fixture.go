@@ -1,0 +1,31 @@
+// Package fixture exercises the simclock analyzer: simulated-time
+// packages must not consult the wall clock or the global math/rand
+// source. The test loads this directory under a
+// repro/internal/fault/... import path (where the rule applies) and
+// again under a neutral path (where it must stay silent).
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() {
+	_ = time.Now()                // want "time.Now reads the wall clock"
+	time.Sleep(time.Nanosecond)   // want "time.Sleep reads the wall clock"
+	_ = time.Since(time.Time{})   // want "time.Since reads the wall clock"
+	<-time.After(time.Nanosecond) // want "time.After reads the wall clock"
+}
+
+func globalRand() {
+	_ = rand.Intn(10)                  // want "rand.Intn draws from the global unseeded source"
+	_ = rand.Float64()                 // want "rand.Float64 draws from the global unseeded source"
+	rand.Shuffle(3, func(i, j int) {}) // want "rand.Shuffle draws from the global unseeded source"
+}
+
+// seeded randomness and pure time arithmetic are the sanctioned forms.
+func sanctioned(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	d := 3 * time.Second
+	return rng.Float64() * d.Seconds()
+}

@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+)
+
+// VetConfig mirrors the JSON compilation-unit description `go vet`
+// hands to a -vettool (the unitchecker protocol): one package's
+// sources plus the export-data files of everything it imports. Only
+// the fields scatterlint consumes are declared; unknown fields are
+// ignored by encoding/json.
+type VetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnit analyzes the single compilation unit described by the
+// vet.cfg file, printing diagnostics in go vet's plain format (or the
+// JSON tree with jsonOut) and returning the process exit code: 0 for
+// clean, 1 for findings. Operational errors are returned separately.
+//
+// go vet invokes the tool once per package in the build graph; units
+// marked VetxOnly exist only to propagate facts, which scatterlint
+// does not use, so they are acknowledged (the facts file must still
+// appear) and skipped.
+func RunUnit(cfgFile string, analyzers []*Analyzer, jsonOut bool, stdout, stderr io.Writer) (int, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return 0, err
+	}
+	cfg := new(VetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return 0, fmt.Errorf("lint: cannot decode vet config %s: %v", cfgFile, err)
+	}
+
+	// The go command caches the (possibly empty) facts file as the vet
+	// action's output; it must exist even though scatterlint carries no
+	// facts across packages.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return 0, err
+		}
+	}
+	if cfg.VetxOnly {
+		return 0, nil
+	}
+
+	pkg, err := typecheckUnit(cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 0, err
+	}
+
+	diags, err := RunAnalyzers(pkg, analyzers)
+	if err != nil {
+		return 0, err
+	}
+
+	if jsonOut {
+		printJSONTree(stdout, pkg.Fset, cfg.ID, analyzers, diags)
+		return 0, nil
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stderr, Format(pkg.Fset, d))
+	}
+	if len(diags) > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// typecheckUnit parses and type-checks the unit from the config, using
+// the compiler export data go vet already produced for its imports.
+func typecheckUnit(cfg *VetConfig) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		return compilerImporter.Import(path)
+	})
+	conf := types.Config{Importer: imp, GoVersion: cfg.GoVersion}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Path: cfg.ImportPath, Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// jsonDiagnostic is the per-finding schema of go vet -json output.
+type jsonDiagnostic struct {
+	Category string `json:"category,omitempty"`
+	Posn     string `json:"posn"`
+	Message  string `json:"message"`
+}
+
+// printJSONTree renders the {"pkgID": {"analyzer": [findings]}} tree
+// go vet -json expects.
+func printJSONTree(w io.Writer, fset *token.FileSet, id string, analyzers []*Analyzer, diags []Diagnostic) {
+	byAnalyzer := make(map[string][]jsonDiagnostic)
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], jsonDiagnostic{
+			Posn:    fset.Position(d.Pos).String(),
+			Message: d.Message,
+		})
+	}
+	tree := map[string]map[string][]jsonDiagnostic{}
+	if len(byAnalyzer) > 0 {
+		tree[id] = byAnalyzer
+	}
+	data, _ := json.MarshalIndent(tree, "", "\t")
+	fmt.Fprintf(w, "%s\n", data)
+}

@@ -16,6 +16,7 @@ func TestCollectiveAfterRankErrorFailsFast(t *testing.T) {
 	w := world4(t)
 	barrierErrs := make([]error, w.Size())
 	_, err := Run(w, func(c *Comm) error {
+		//scatterlint:ignore collectiveorder deliberately mismatched: this test pins the fail-fast behavior the analyzer guards against
 		if c.Rank() == 1 {
 			return fmt.Errorf("rank 1 gives up")
 		}
@@ -39,6 +40,7 @@ func TestCollectiveMidFlightFailsFast(t *testing.T) {
 	parked := make(chan struct{}, 3)
 	barrierErrs := make([]error, w.Size())
 	_, err := Run(w, func(c *Comm) error {
+		//scatterlint:ignore collectiveorder deliberately mismatched: rank 1 must die mid-collective to exercise fail-fast
 		if c.Rank() == 1 {
 			// Wait until the others are inside the collective (they park
 			// right after signaling; the tiny race is harmless — both
@@ -140,6 +142,7 @@ func TestPanickedRankMarksFailed(t *testing.T) {
 	w := world4(t)
 	barrierErrs := make([]error, w.Size())
 	_, err := Run(w, func(c *Comm) error {
+		//scatterlint:ignore collectiveorder deliberately mismatched: a panicking rank must desert the barrier to exercise fail-fast
 		if c.Rank() == 2 {
 			panic("rank 2 explodes")
 		}
