@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-fault figures fmt lint check ci
+.PHONY: all build vet test race bench bench-fault bench-recovery figures fmt lint check ci
 
 all: build
 
@@ -23,6 +23,11 @@ bench:
 # no faults / one transient drop / one permanent crash).
 bench-fault:
 	$(GO) test -run '^$$' -bench BenchmarkFaultScatter -benchtime 1x .
+
+# Regenerate BENCH_recovery.json (failover recovery overhead of the
+# chaos pipeline vs its fault-free baseline on the Table 1 grid).
+bench-recovery:
+	$(GO) run ./cmd/scatterbench -recovery BENCH_recovery.json
 
 # Regenerate figures/fault.svg alongside the demo's console report.
 figures:

@@ -6,6 +6,9 @@
 //	scatterbench -exp fig3           # one experiment
 //	scatterbench -list               # list experiment IDs
 //	scatterbench -exp all -md out.md # also write a Markdown summary
+//	scatterbench -recovery BENCH_recovery.json
+//	                                 # recovery benchmark only: write the
+//	                                 # failover-overhead JSON and exit
 //
 // Experiment IDs: table1, fig1, fig2, fig3, fig4, algocost, quality,
 // ordering, bound, root. Note that algocost times the exact dynamic
@@ -24,10 +27,11 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment ID to run, or 'all'")
-		list   = flag.Bool("list", false, "list experiment IDs and exit")
-		md     = flag.String("md", "", "also write a Markdown summary to this file")
-		svgDir = flag.String("svg", "", "write figure SVGs into this directory")
+		exp      = flag.String("exp", "all", "experiment ID to run, or 'all'")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		md       = flag.String("md", "", "also write a Markdown summary to this file")
+		svgDir   = flag.String("svg", "", "write figure SVGs into this directory")
+		recovery = flag.String("recovery", "", "run only the recovery benchmark and write its JSON to this file")
 	)
 	flag.Parse()
 
@@ -35,6 +39,20 @@ func main() {
 		for _, id := range experiment.IDs() {
 			fmt.Println(id)
 		}
+		return
+	}
+
+	if *recovery != "" {
+		buf, err := experiment.RecoveryJSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scatterbench: recovery: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*recovery, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "scatterbench: write %s: %v\n", *recovery, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *recovery)
 		return
 	}
 

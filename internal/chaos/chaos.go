@@ -1,0 +1,402 @@
+// Package chaos is the end-to-end harness hardening the fault-tolerant
+// runtime: it generates seeded random fault schedules — including
+// crashes of the serving root mid-round — runs a full
+// scatter→compute→gather pipeline under them, and machine-checks the
+// recovery invariants:
+//
+//   - exactly-once: every input item is computed and lands in the
+//     output exactly once (the delivery ledger covers [0, n) with no
+//     overlap after every scatter, and the merged output mask fills
+//     completely);
+//   - equivalence: the gathered output is byte-identical to a
+//     fault-free run of the same computation;
+//   - guarantee band: every recovery re-solve stays within the paper's
+//     Eq. (4) additive bound of the optimal distribution for the
+//     surviving processors;
+//   - determinism: the same seed replays the same run (asserted by the
+//     fuzz harness running every schedule twice).
+//
+// Total loss — every rank dead before the pipeline can finish — is an
+// accepted outcome, reported rather than failed.
+//
+// The pipeline assumes the paper's durable-input model: the scattered
+// buffer and the merged output live in storage every candidate root
+// can read (see DESIGN.md §9), so a promoted root resumes both the
+// scatter and the merge bookkeeping.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/fault"
+	"repro/internal/mpi"
+)
+
+// item is one unit of pipeline work: an input value tagged with its
+// output index, so recovery can redistribute items arbitrarily and the
+// merge stays index-keyed.
+type item struct {
+	Idx, Val int
+}
+
+// Config parameterizes one chaos run.
+type Config struct {
+	// Seed drives the fault schedule and the input data.
+	Seed int64
+	// Procs are the platform's processors in world-rank order; Root
+	// indexes the initial data root.
+	Procs []core.Processor
+	Root  int
+	// Items is the pipeline's input size.
+	Items int
+	// CrashProb, DropProb and SlowProb are the per-rank fault
+	// probabilities of the random schedule; MaxSlow bounds slow-link
+	// factors.
+	CrashProb, DropProb, SlowProb float64
+	MaxSlow                       float64
+	// Horizon bounds fault times; 0 derives it from the fault-free
+	// makespan so faults land while the pipeline is actually running.
+	Horizon float64
+	// ProtectRoot exempts the initial root from random faults (the
+	// pre-failover regime). Default false: the root is fair game.
+	ProtectRoot bool
+	// ForceRootCrash additionally crashes the initial root at the given
+	// fraction of the horizon (e.g. 0.1 = early, mid-first-round).
+	// Negative means no forced crash.
+	ForceRootCrash float64
+	// ExtraFaults are appended verbatim to the random schedule:
+	// scripted, absolute-time faults (a specific worker crash, a root
+	// crash at a known pipeline phase) on top of — or, with zero
+	// probabilities, instead of — the random ones.
+	ExtraFaults []fault.Fault
+	// Policy governs detection, retry and re-election.
+	Policy fault.Policy
+	// Compute is the per-item computation; nil defaults to a fixed
+	// nonlinear function so output mix-ups cannot cancel out.
+	Compute func(int) int
+}
+
+// Result describes one chaos run.
+type Result struct {
+	// Plan is the generated fault schedule.
+	Plan *fault.Plan
+	// Horizon is the resolved fault horizon.
+	Horizon float64
+	// TotalLoss reports that every rank died before the pipeline could
+	// complete; Output is nil in that case.
+	TotalLoss bool
+	// Makespan is the virtual-time finish of the whole pipeline, and
+	// Stats the per-rank span timelines behind it.
+	Makespan float64
+	Stats    []mpi.RankStats
+	// Output and Expected are the merged pipeline output and the
+	// fault-free reference; Run verifies they are identical.
+	Output, Expected []int
+	// Failovers totals root re-elections across all collectives;
+	// Recomputes counts re-scatter iterations for missing
+	// contributions.
+	Failovers  int
+	Recomputes int
+	// Scatters and Gathers are the collectives' reports, in pipeline
+	// order.
+	Scatters []*mpi.ScatterReport
+	Gathers  []*mpi.GatherReport
+}
+
+// defaultCompute is deliberately non-linear and index-free: equal
+// values always map to equal outputs, so only true exactly-once
+// delivery reproduces the expected output.
+func defaultCompute(v int) int { return v*v + 3*v + 7 }
+
+// balance mirrors the facade's solver dispatch (scatter.Balance): pick
+// the paper's cheapest solver the platform's cost class admits. The
+// facade itself would close an import cycle (repro → … → chaos →
+// repro), so the dispatch is restated over internal/core directly.
+func balance(procs []core.Processor, n int) (core.Result, error) {
+	class := cost.LinearClass
+	for _, p := range procs {
+		for _, f := range []cost.Function{p.Comm, p.Comp} {
+			if c := cost.ClassOf(f); c < class {
+				class = c
+			}
+		}
+	}
+	switch class {
+	case cost.LinearClass:
+		return core.SolveLinear(procs, n)
+	case cost.AffineClass:
+		return core.Heuristic(procs, n)
+	case cost.Increasing:
+		return core.Algorithm2(procs, n)
+	default:
+		return core.Algorithm1(procs, n)
+	}
+}
+
+// faultFreeMakespan solves the balanced distribution on the fault-free
+// platform and returns its makespan (scatter + compute for the
+// survivors' service order, root last with free communication).
+func faultFreeMakespan(cfg Config) float64 {
+	order := make([]core.Processor, 0, len(cfg.Procs))
+	for r, p := range cfg.Procs {
+		if r != cfg.Root {
+			order = append(order, p)
+		}
+	}
+	rootProc := cfg.Procs[cfg.Root]
+	rootProc.Comm = cost.Zero
+	order = append(order, rootProc)
+	res, err := balance(order, cfg.Items)
+	if err != nil {
+		return float64(cfg.Items)
+	}
+	return res.Makespan
+}
+
+// buildPlan draws the seeded fault schedule.
+func buildPlan(cfg Config, horizon float64) (*fault.Plan, error) {
+	exempt := -1
+	if cfg.ProtectRoot {
+		exempt = cfg.Root
+	}
+	plan := fault.Random(fault.RandomConfig{
+		Seed:      cfg.Seed,
+		Ranks:     len(cfg.Procs),
+		Root:      exempt,
+		Horizon:   horizon,
+		CrashProb: cfg.CrashProb,
+		DropProb:  cfg.DropProb,
+		SlowProb:  cfg.SlowProb,
+		MaxSlow:   cfg.MaxSlow,
+	})
+	faults := plan.Faults()
+	faults = append(faults, cfg.ExtraFaults...)
+	if cfg.ForceRootCrash >= 0 {
+		faults = append(faults, fault.Fault{
+			Kind: fault.Crash, Rank: cfg.Root, Start: cfg.ForceRootCrash * horizon,
+		})
+	}
+	if len(cfg.ExtraFaults) == 0 && cfg.ForceRootCrash < 0 {
+		return plan, nil
+	}
+	return fault.NewPlan(faults...)
+}
+
+// Run executes one chaos pipeline and machine-checks its invariants,
+// returning an error on any violation. Total loss is not a violation.
+func Run(cfg Config) (*Result, error) {
+	p := len(cfg.Procs)
+	if p < 2 {
+		return nil, fmt.Errorf("chaos: need at least 2 ranks, have %d", p)
+	}
+	if cfg.Root < 0 || cfg.Root >= p {
+		return nil, fmt.Errorf("chaos: root %d out of range", cfg.Root)
+	}
+	if cfg.Items < 1 {
+		return nil, fmt.Errorf("chaos: need at least 1 item, have %d", cfg.Items)
+	}
+	compute := cfg.Compute
+	if compute == nil {
+		compute = defaultCompute
+	}
+
+	horizon := cfg.Horizon
+	if horizon <= 0 {
+		horizon = 2 * faultFreeMakespan(cfg)
+		if horizon <= 0 {
+			horizon = 1
+		}
+	}
+	plan, err := buildPlan(cfg, horizon)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: building plan: %w", err)
+	}
+
+	// Seeded input; the expected output is computed directly, with no
+	// runtime involved — the reference a faulty run must reproduce.
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5ca77e4))
+	input := make([]int, cfg.Items)
+	data := make([]item, cfg.Items)
+	expected := make([]int, cfg.Items)
+	for i := range input {
+		input[i] = rng.Intn(1 << 16)
+		data[i] = item{Idx: i, Val: input[i]}
+		expected[i] = compute(input[i])
+	}
+
+	w, err := mpi.NewWorld(cfg.Procs, cfg.Root)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	w.SetFaultPlan(plan, cfg.Policy)
+
+	res := &Result{Plan: plan, Horizon: horizon, Expected: expected}
+	// Durable root-side state: the output merge mask. Only the current
+	// root touches these between collectives (see the package comment
+	// on the durable-storage assumption).
+	output := make([]int, cfg.Items)
+	mask := make([]bool, cfg.Items)
+	filled := 0
+	// finished counts ranks that ran the pipeline to completion; they
+	// finish concurrently, unlike the root-only merge bookkeeping.
+	var finishMu sync.Mutex
+	finished := 0
+	maxIters := 4 + 2*p
+
+	stats, err := mpi.Run(w, func(c *mpi.Comm) error {
+		// comm follows the shrinking survivor communicator; the deferred
+		// Merge folds its clock back into the top-level handle so the
+		// run's Finish times (and Makespan) cover the whole pipeline.
+		comm := c
+		defer func() { c.Merge(comm) }()
+		counts := mpi.BalancedCounts(comm, len(data))
+		var rootData []item
+		if comm.IsRoot() {
+			rootData = data
+		}
+		chunk, srep, err := mpi.FaultTolerantScatterv(comm, rootData, counts)
+		if err != nil {
+			return nil // this rank is dead; the survivors carry on
+		}
+		comm = srep.Survivors
+		if comm.IsRoot() {
+			res.Scatters = append(res.Scatters, srep)
+		}
+
+		for iter := 0; ; iter++ {
+			// Compute this rank's share.
+			computed := make([]item, len(chunk))
+			for i, it := range chunk {
+				computed[i] = item{Idx: it.Idx, Val: compute(it.Val)}
+			}
+			comm.ChargeItems(len(chunk))
+
+			// Gather the contributions at the (possibly re-elected)
+			// root and merge them index-keyed. The mask makes the
+			// merge idempotent: a share recomputed after a root
+			// failover can never land twice.
+			results, grep, err := mpi.FaultTolerantGatherv(comm, computed)
+			if err != nil {
+				return nil
+			}
+			comm = grep.Survivors
+			var uncovered []item
+			if comm.IsRoot() {
+				res.Gathers = append(res.Gathers, grep)
+				for _, it := range results {
+					if !mask[it.Idx] {
+						mask[it.Idx] = true
+						output[it.Idx] = it.Val
+						filled++
+					}
+				}
+				if filled < cfg.Items {
+					for i, done := range mask {
+						if !done {
+							uncovered = append(uncovered, item{Idx: i, Val: input[i]})
+						}
+					}
+				}
+			}
+			// Everyone agrees on whether work remains (only the root's
+			// payload is significant, as in Bcast).
+			remaining, err := mpi.Bcast(comm, []int{len(uncovered)})
+			if err != nil {
+				return nil
+			}
+			if remaining[0] == 0 {
+				break
+			}
+			if iter >= maxIters {
+				return fmt.Errorf("chaos: no progress after %d recompute iterations", iter)
+			}
+
+			// Re-scatter the uncovered inputs over the survivors and
+			// go around again.
+			if comm.IsRoot() {
+				res.Recomputes++
+			}
+			counts := mpi.BalancedCounts(comm, remaining[0])
+			chunk, srep, err = mpi.FaultTolerantScatterv(comm, uncovered, counts)
+			if err != nil {
+				return nil
+			}
+			comm = srep.Survivors
+			if comm.IsRoot() {
+				res.Scatters = append(res.Scatters, srep)
+			}
+		}
+		finishMu.Lock()
+		finished++
+		finishMu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: pipeline: %w", err)
+	}
+	res.Stats = stats
+	res.Makespan = mpi.Makespan(stats)
+
+	if finished == 0 {
+		res.TotalLoss = true
+		return res, nil
+	}
+	res.Output = output
+	for _, s := range res.Scatters {
+		res.Failovers += s.Failovers
+	}
+	for _, g := range res.Gathers {
+		res.Failovers += g.Failovers
+	}
+	if err := verify(cfg, res, mask); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// verify machine-checks the run's invariants.
+func verify(cfg Config, res *Result, mask []bool) error {
+	// Exactly once: the merge mask is full (at-most-once is enforced by
+	// the mask itself, so full coverage means exactly once)...
+	for i, done := range mask {
+		if !done {
+			return fmt.Errorf("chaos: item %d never delivered", i)
+		}
+	}
+	// ...and each scatter's ledger covers its input with no overlap.
+	for i, s := range res.Scatters {
+		n := s.Planned.Sum()
+		if s.Ledger == nil {
+			return fmt.Errorf("chaos: scatter %d has no ledger", i)
+		}
+		if err := s.Ledger.VerifyExactlyOnce(n); err != nil {
+			return fmt.Errorf("chaos: scatter %d: %w", i, err)
+		}
+	}
+	// Equivalence: byte-identical to the fault-free computation.
+	for i := range res.Expected {
+		if res.Output[i] != res.Expected[i] {
+			return fmt.Errorf("chaos: output[%d] = %d, want %d", i, res.Output[i], res.Expected[i])
+		}
+	}
+	// Guarantee band: every recovery re-solve stays within Eq. (4) of
+	// the optimum for the surviving processors.
+	for i, s := range res.Scatters {
+		for j, rb := range s.Rebalances {
+			ms := core.Makespan(rb.Procs, rb.Dist)
+			opt, err := balance(rb.Procs, rb.Items)
+			if err != nil {
+				return fmt.Errorf("chaos: scatter %d rebalance %d: re-solving: %w", i, j, err)
+			}
+			if band := opt.Makespan + core.GuaranteeBound(rb.Procs) + 1e-9; ms > band {
+				return fmt.Errorf("chaos: scatter %d rebalance %d: makespan %g exceeds guarantee band %g",
+					i, j, ms, band)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,217 @@
+package chaos
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/fault"
+)
+
+// testProcs builds a small heterogeneous linear platform: three link
+// speeds and three compute speeds cycling across the ranks.
+func testProcs(p int) []core.Processor {
+	procs := make([]core.Processor, p)
+	for r := range procs {
+		procs[r] = core.Processor{
+			Name: fmt.Sprintf("M%d", r),
+			Comm: cost.Linear{PerItem: 0.5 + 0.5*float64(r%3)},
+			Comp: cost.Linear{PerItem: 1 + float64((r+1)%3)},
+		}
+	}
+	return procs
+}
+
+func testConfig(seed int64, p, items int) Config {
+	return Config{
+		Seed:           seed,
+		Procs:          testProcs(p),
+		Root:           p - 1,
+		Items:          items,
+		MaxSlow:        4,
+		ForceRootCrash: -1,
+		Policy: fault.Policy{
+			Timeout:    1,
+			MaxRetries: 2,
+			Backoff:    fault.Backoff{Base: 0.5, Factor: 2, Cap: 2},
+		},
+	}
+}
+
+func TestChaosQuietRun(t *testing.T) {
+	cfg := testConfig(1, 4, 40)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalLoss {
+		t.Fatal("fault-free run reported total loss")
+	}
+	if res.Failovers != 0 || res.Recomputes != 0 {
+		t.Errorf("Failovers, Recomputes = %d, %d; want 0, 0", res.Failovers, res.Recomputes)
+	}
+	if len(res.Scatters) != 1 || len(res.Gathers) != 1 {
+		t.Errorf("scatters, gathers = %d, %d; want 1, 1", len(res.Scatters), len(res.Gathers))
+	}
+	// Run already verified Output == Expected; spot-check anyway.
+	for i := range res.Expected {
+		if res.Output[i] != res.Expected[i] {
+			t.Fatalf("output[%d] = %d, want %d", i, res.Output[i], res.Expected[i])
+		}
+	}
+}
+
+func TestChaosRootCrashMidScatter(t *testing.T) {
+	// The acceptance scenario: the data root dies early in the first
+	// scatter round. A new root must be elected, the scatter must
+	// resume from the ledger checkpoint, compute and gather must
+	// complete, and the output must be identical to a fault-free run —
+	// Run machine-checks all of it and errors otherwise.
+	cfg := testConfig(42, 4, 64)
+	cfg.ForceRootCrash = 0.05
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalLoss {
+		t.Fatal("root crash cascaded to total loss")
+	}
+	if res.Failovers < 1 {
+		t.Fatalf("Failovers = %d, want >= 1", res.Failovers)
+	}
+	first := res.Scatters[0]
+	if first.Failovers < 1 || first.RootPath[0] != cfg.Root {
+		t.Errorf("first scatter Failovers = %d, RootPath = %v; want a failover away from rank %d",
+			first.Failovers, first.RootPath, cfg.Root)
+	}
+	if first.FinalRoot() == cfg.Root {
+		t.Error("first scatter still rooted at the crashed rank")
+	}
+}
+
+func TestChaosRootCrashLateNoFailover(t *testing.T) {
+	// A root crash far beyond the pipeline's lifetime never fires: the
+	// run is failure-free. This pins the satellite fix — crash plans
+	// against the root are resolved against the simulated clock, not
+	// rejected up front.
+	cfg := testConfig(3, 4, 24)
+	cfg.Horizon = 1e6
+	cfg.ForceRootCrash = 0.9
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalLoss || res.Failovers != 0 {
+		t.Errorf("TotalLoss, Failovers = %v, %d; want false, 0", res.TotalLoss, res.Failovers)
+	}
+}
+
+func TestChaosCrashStormOrTotalLoss(t *testing.T) {
+	// A heavy crash schedule must end either in a verified partial-
+	// survivor run or an explicit total loss — never a violation.
+	for seed := int64(0); seed < 8; seed++ {
+		cfg := testConfig(seed, 6, 48)
+		cfg.CrashProb = 0.7
+		cfg.DropProb = 0.3
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.TotalLoss && res.Output != nil {
+			t.Fatalf("seed %d: total loss with an output", seed)
+		}
+	}
+}
+
+func TestChaosTotalLoss(t *testing.T) {
+	// Everyone dies at t≈0: the harness reports total loss explicitly.
+	cfg := testConfig(5, 4, 16)
+	cfg.CrashProb = 1
+	cfg.Horizon = 1e-6
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TotalLoss {
+		t.Fatalf("Failovers = %d, Output = %v: expected total loss", res.Failovers, res.Output)
+	}
+}
+
+func TestChaosDeterminism(t *testing.T) {
+	cfg := testConfig(99, 5, 80)
+	cfg.CrashProb = 0.4
+	cfg.DropProb = 0.4
+	cfg.SlowProb = 0.4
+	cfg.ForceRootCrash = 0.2
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalLoss != b.TotalLoss || a.Failovers != b.Failovers ||
+		a.Recomputes != b.Recomputes || len(a.Scatters) != len(b.Scatters) {
+		t.Fatalf("replay diverged: %+v vs %+v", a, b)
+	}
+	if len(a.Output) != len(b.Output) {
+		t.Fatalf("replay output lengths differ: %d vs %d", len(a.Output), len(b.Output))
+	}
+	for i := range a.Output {
+		if a.Output[i] != b.Output[i] {
+			t.Fatalf("replay output[%d] differs: %d vs %d", i, a.Output[i], b.Output[i])
+		}
+	}
+}
+
+func TestChaosConfigValidation(t *testing.T) {
+	if _, err := Run(Config{Procs: testProcs(1), Root: 0, Items: 4}); err == nil {
+		t.Error("single-rank config accepted")
+	}
+	if _, err := Run(Config{Procs: testProcs(4), Root: 9, Items: 4}); err == nil {
+		t.Error("out-of-range root accepted")
+	}
+	if _, err := Run(Config{Procs: testProcs(4), Root: 0, Items: 0}); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+// FuzzChaos replays seeded fault schedules through the full pipeline
+// and requires every run to verify its invariants and replay
+// deterministically. The committed corpus (testdata/fuzz/FuzzChaos)
+// pins the named scenarios — root crash mid-scatter, quiet run, crash
+// storm, drop-heavy, slow links — as deterministic CI regressions.
+func FuzzChaos(f *testing.F) {
+	f.Add(int64(42), uint16(2), uint16(63), uint8(0), uint8(0), uint8(0), true)
+	f.Add(int64(7), uint16(4), uint16(47), uint8(80), uint8(20), uint8(0), true)
+	f.Add(int64(11), uint16(2), uint16(31), uint8(10), uint8(90), uint8(0), false)
+	f.Fuzz(func(t *testing.T, seed int64, ranks, items uint16, crashPct, dropPct, slowPct uint8, rootCrash bool) {
+		p := 2 + int(ranks%7)   // 2..8 ranks
+		n := 1 + int(items%192) // 1..192 items
+		cfg := testConfig(seed, p, n)
+		cfg.CrashProb = float64(crashPct%101) / 100
+		cfg.DropProb = float64(dropPct%101) / 100
+		cfg.SlowProb = float64(slowPct%101) / 100
+		if rootCrash {
+			cfg.ForceRootCrash = 0.1
+		}
+		a, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("invariant violation: %v", err)
+		}
+		b, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("replay violation: %v", err)
+		}
+		if a.TotalLoss != b.TotalLoss || a.Failovers != b.Failovers || len(a.Output) != len(b.Output) {
+			t.Fatal("replay diverged")
+		}
+		for i := range a.Output {
+			if a.Output[i] != b.Output[i] {
+				t.Fatalf("replay output[%d] differs", i)
+			}
+		}
+	})
+}

@@ -9,7 +9,7 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"table1", "fig1", "fig2", "fig3", "fig4", "algocost", "quality", "ordering", "bound", "root", "tree", "masterslave", "overlap", "multiround", "sensitivity", "heterogeneity", "hierarchy"}
+	want := []string{"table1", "fig1", "fig2", "fig3", "fig4", "algocost", "quality", "ordering", "bound", "root", "tree", "masterslave", "overlap", "multiround", "sensitivity", "heterogeneity", "hierarchy", "recovery"}
 	ids := IDs()
 	if len(ids) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d: %v", len(ids), len(want), ids)
@@ -310,6 +310,31 @@ func TestCalibrationSensitivity(t *testing.T) {
 	at50 := comparison(t, rep, "50% error")
 	if at50.Measured < at10.Measured {
 		t.Errorf("degradation not monotone: %g at 50%% vs %g at 10%%", at50.Measured, at10.Measured)
+	}
+}
+
+func TestRecovery(t *testing.T) {
+	rep, err := Recovery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fault-free", "worker-crash", "root-crash-early", "root-crash-late"} {
+		if !strings.Contains(rep.Body, want) {
+			t.Errorf("recovery body missing scenario %q", want)
+		}
+	}
+	early := comparison(t, rep, "root crash early")
+	if early.Measured <= 0 {
+		t.Errorf("early root crash recovered for free: overhead %g%%", early.Measured)
+	}
+	late := comparison(t, rep, "root crash late")
+	if late.Measured <= 0 || late.Measured >= early.Measured {
+		t.Errorf("late root crash overhead %g%% not between 0 and the early crash's %g%%: "+
+			"a completed scatter should make recovery cheaper", late.Measured, early.Measured)
+	}
+	fo := comparison(t, rep, "failovers")
+	if fo.Measured < 1 {
+		t.Errorf("early root crash elected no new root: failovers %g", fo.Measured)
 	}
 }
 

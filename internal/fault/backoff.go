@@ -92,11 +92,17 @@ type Policy struct {
 	MaxRetries int
 	// Backoff schedules the waits between retries.
 	Backoff Backoff
+	// Election is the failure-detection plus re-election overhead, in
+	// virtual seconds, charged when a serving root crashes and the
+	// survivors promote a replacement from the replicated ledger
+	// (default: 2×Timeout — the survivors must first miss a heartbeat,
+	// then run the agreement round).
+	Election float64
 }
 
 // DefaultPolicy returns the recommended detection/recovery settings.
 func DefaultPolicy() Policy {
-	return Policy{Timeout: 1, MaxRetries: 4, Backoff: Backoff{Base: 0.25, Factor: 2, Cap: 8}}
+	return Policy{Timeout: 1, MaxRetries: 4, Backoff: Backoff{Base: 0.25, Factor: 2, Cap: 8}, Election: 2}
 }
 
 // WithDefaults fills unset fields with their defaults.
@@ -106,6 +112,9 @@ func (p Policy) WithDefaults() Policy {
 	}
 	if p.MaxRetries < 0 {
 		p.MaxRetries = 0
+	}
+	if math.IsNaN(p.Election) || p.Election <= 0 {
+		p.Election = 2 * p.Timeout
 	}
 	return p
 }

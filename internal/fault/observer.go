@@ -21,14 +21,23 @@ const (
 	// SendTimedOut means the root gave up waiting for the transfer's
 	// acknowledgement.
 	SendTimedOut
+	// SendAborted means the serving root crashed mid-transfer: the
+	// items never landed (the destination discards the unconfirmed
+	// partial data) and a failover follows. The destination's link is
+	// not implicated.
+	SendAborted
 )
 
 // String names the outcome.
 func (o SendOutcome) String() string {
-	if o == SendDelivered {
+	switch o {
+	case SendDelivered:
 		return "delivered"
+	case SendTimedOut:
+		return "timed-out"
+	default:
+		return "aborted"
 	}
-	return "timed-out"
 }
 
 // SendEvent is one observed transfer attempt, reported by the runtime
@@ -38,6 +47,9 @@ type SendEvent struct {
 	Rank int
 	// Name is the destination processor's name.
 	Name string
+	// Server is the serving root's processor name (empty in events
+	// predating root failover).
+	Server string
 	// At is the virtual time of the outcome.
 	At float64
 	// Items is the payload size.
@@ -56,10 +68,23 @@ const TimeoutBandwidthFraction = 0.05
 // MonitorObserver returns a send-event callback feeding the monitor's
 // per-link bandwidth series: a delivered send records nominal/actual
 // (1 on a healthy link, below 1 on a slowed one), a timeout records
-// TimeoutBandwidthFraction. Install it on an mpi.World with
-// SetSendObserver.
+// TimeoutBandwidthFraction. An aborted send implicates the serving
+// root, not the destination's link, so it records a liveness 0 on the
+// server's up-series instead (and every other outcome records a
+// liveness 1), letting dashboards and re-solves watch root health too.
+// Install it on an mpi.World with SetSendObserver.
 func MonitorObserver(m *monitor.Monitor) func(SendEvent) {
 	return func(ev SendEvent) {
+		if ev.Server != "" {
+			up := 1.0
+			if ev.Outcome == SendAborted {
+				up = 0
+			}
+			m.Observe(monitor.UpResource(ev.Server), ev.At, up)
+		}
+		if ev.Outcome == SendAborted {
+			return
+		}
 		frac := 1.0
 		switch ev.Outcome {
 		case SendDelivered:

@@ -38,6 +38,8 @@ var collectiveFuncs = map[string]bool{
 	"BcastBinomial":         true,
 	"ScattervBinomial":      true,
 	"FaultTolerantScatterv": true,
+	"FaultTolerantGatherv":  true,
+	"FaultTolerantReduce":   true,
 	"Split":                 true,
 }
 

@@ -7,8 +7,9 @@ import (
 )
 
 // SimClock enforces the virtual-time discipline of the simulated
-// packages: inside internal/mpi, internal/simgrid and internal/fault
-// all time must flow through Comm.Clock() / the engine's clock, and
+// packages: inside internal/mpi, internal/simgrid, internal/fault and
+// internal/chaos all time must flow through Comm.Clock() / the
+// engine's clock, and
 // all randomness through explicitly seeded sources (fault plans,
 // noise configs). Wall-clock reads make makespans irreproducible;
 // real sleeps stall the rank goroutines without advancing virtual
@@ -17,9 +18,9 @@ import (
 // timeouts in tests legitimately use the wall clock.
 var SimClock = &Analyzer{
 	Name: "simclock",
-	Doc: "simulated-time packages (internal/mpi, internal/simgrid, internal/fault) " +
-		"must not call time.Now/time.Sleep or the global math/rand source; use " +
-		"Comm.Clock() and seeded rand.New(rand.NewSource(seed))",
+	Doc: "simulated-time packages (internal/mpi, internal/simgrid, internal/fault, " +
+		"internal/chaos) must not call time.Now/time.Sleep or the global math/rand " +
+		"source; use Comm.Clock() and seeded rand.New(rand.NewSource(seed))",
 	Run: runSimClock,
 }
 
@@ -29,6 +30,7 @@ var simulatedPkgPrefixes = []string{
 	"repro/internal/mpi",
 	"repro/internal/simgrid",
 	"repro/internal/fault",
+	"repro/internal/chaos",
 }
 
 // wallClockFuncs are the time package functions that read or wait on

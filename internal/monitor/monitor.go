@@ -313,6 +313,13 @@ func CPUResource(machine string) string { return "cpu:" + machine }
 // BWResource names the bandwidth-fraction series of a machine's link.
 func BWResource(machine string) string { return "bw:" + machine }
 
+// UpResource names a machine's liveness series: 1 when the machine is
+// observed serving, 0 when a transfer it was serving was cut by its
+// crash. The fault-tolerant collectives feed it through
+// fault.MonitorObserver, so a forecast near 0 flags a machine that
+// should not win a root re-election.
+func UpResource(machine string) string { return "up:" + machine }
+
 // ApplyForecasts returns a copy of the platform whose cost constants
 // reflect the monitor's instantaneous forecasts: a machine with CPU
 // availability a gets beta/a (less of the CPU per second of wall

@@ -64,6 +64,71 @@ func TestCollectiveMidFlightFailsFast(t *testing.T) {
 	}
 }
 
+func TestGathervAfterRankErrorFailsFast(t *testing.T) {
+	w := world4(t)
+	gatherErrs := make([]error, w.Size())
+	_, err := Run(w, func(c *Comm) error {
+		//scatterlint:ignore collectiveorder deliberately mismatched: this test pins Gatherv's fail-fast behavior
+		if c.Rank() == 1 {
+			return fmt.Errorf("rank 1 gives up")
+		}
+		_, gatherErrs[c.Rank()] = Gatherv(c, []int{c.Rank()})
+		return nil
+	})
+	if err == nil {
+		t.Fatal("Run swallowed rank 1's error")
+	}
+	for _, r := range []int{0, 2, 3} {
+		if !errors.Is(gatherErrs[r], ErrRankFailed) {
+			t.Errorf("rank %d gather error = %v, want ErrRankFailed", r, gatherErrs[r])
+		}
+	}
+}
+
+func TestReduceAfterRankErrorFailsFast(t *testing.T) {
+	w := world4(t)
+	reduceErrs := make([]error, w.Size())
+	_, err := Run(w, func(c *Comm) error {
+		//scatterlint:ignore collectiveorder deliberately mismatched: this test pins Reduce's fail-fast behavior
+		if c.Rank() == 2 {
+			return fmt.Errorf("rank 2 gives up")
+		}
+		_, reduceErrs[c.Rank()] = Reduce(c, 1, Sum)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("Run swallowed rank 2's error")
+	}
+	for _, r := range []int{0, 1, 3} {
+		if !errors.Is(reduceErrs[r], ErrRankFailed) {
+			t.Errorf("rank %d reduce error = %v, want ErrRankFailed", r, reduceErrs[r])
+		}
+	}
+}
+
+func TestAllreduceAfterRankErrorFailsFast(t *testing.T) {
+	// Allreduce is a Reduce then a Bcast; a dead rank must surface from
+	// whichever leg runs first, never deadlock.
+	w := world4(t)
+	allErrs := make([]error, w.Size())
+	_, err := Run(w, func(c *Comm) error {
+		//scatterlint:ignore collectiveorder deliberately mismatched: this test pins Allreduce's fail-fast behavior
+		if c.Rank() == 0 {
+			return fmt.Errorf("rank 0 gives up")
+		}
+		_, allErrs[c.Rank()] = Allreduce(c, 1, Max)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("Run swallowed rank 0's error")
+	}
+	for _, r := range []int{1, 2, 3} {
+		if !errors.Is(allErrs[r], ErrRankFailed) {
+			t.Errorf("rank %d allreduce error = %v, want ErrRankFailed", r, allErrs[r])
+		}
+	}
+}
+
 func TestRecvFromFailedRankFailsFast(t *testing.T) {
 	w := world4(t)
 	var recvErr error

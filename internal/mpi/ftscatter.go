@@ -9,19 +9,33 @@ import (
 	"repro/internal/fault"
 )
 
-// This file is the failure-aware counterpart of Scatterv. The root
-// still serves destinations in rank order over a single port (the
-// paper's Section 2.3 model), but every send is supervised: a transfer
-// that overlaps an injected link-drop window — or whose destination has
-// crashed — times out at the root, which retries it under a capped
-// exponential backoff. A rank whose retries are exhausted, or which
-// crashes outright, is declared dead; the items it still owed (and any
-// it had already received, since a crashed machine's partial results
-// are gone) are re-balanced over the survivors by re-solving the
-// paper's distribution problem on the surviving processors — the same
-// solvers, including Theorem 2's participation pruning — and shipped in
-// a further scatter round. The loop repeats until a round loses
-// nothing, so every item is delivered exactly once to a surviving rank.
+// This file is the failure-aware counterpart of Scatterv. The serving
+// root still ships to destinations in rank order over a single port
+// (the paper's Section 2.3 model), but every send is supervised: a
+// transfer that overlaps an injected link-drop window — or whose
+// destination has crashed — times out at the root, which retries it
+// under a capped exponential backoff. A rank whose retries are
+// exhausted, or which crashes outright, is declared dead; the items it
+// still owed (and any it had already received, since a crashed
+// machine's partial results are gone) are re-balanced over the
+// survivors by re-solving the paper's distribution problem on the
+// surviving processors — the same solvers, including Theorem 2's
+// participation pruning — and shipped in a further scatter round.
+//
+// The root itself may die too. Every confirmed send is checkpointed in
+// a replicated delivery ledger (fault.Ledger): the root appends a
+// checkpoint per acknowledged transfer and piggybacks the metadata-only
+// log onto the acknowledgement, so every rank holding data holds a
+// fresh ledger copy. When the serving root crashes, the survivors
+// detect it (a missed heartbeat plus an agreement round, charged
+// Policy.Election virtual seconds), deterministically elect the
+// lowest-ranked survivor with a fresh ledger copy, and the new root
+// resumes the scatter from the last checkpoint: confirmed deliveries
+// stay where they are, and only the unconfirmed remainder — re-read
+// from the durable input the original root was scattering — is
+// re-solved over the survivors and shipped in a resume round. The loop
+// repeats until a round loses nothing, so every item is delivered
+// exactly once to a surviving rank.
 
 // SetFaultPlan installs a failure-injection plan and the retry policy
 // governing the fault-tolerant collectives. It must be called before
@@ -32,9 +46,9 @@ func (w *World) SetFaultPlan(plan *fault.Plan, pol fault.Policy) {
 }
 
 // SetSendObserver installs a callback invoked for every supervised
-// send outcome (delivered, slowed or timed out). Wire it to a monitor
-// with fault.MonitorObserver so re-solves see degraded link costs. It
-// must be called before Run.
+// send outcome (delivered, slowed, timed out, or aborted by a root
+// crash). Wire it to a monitor with fault.MonitorObserver so re-solves
+// see degraded link costs. It must be called before Run.
 func (w *World) SetSendObserver(fn func(fault.SendEvent)) { w.fc.observer = fn }
 
 // SetRebalanceCosts installs a hook that supplies the processors used
@@ -66,6 +80,45 @@ func (w *World) rebalanceProcs(ranks []int) []core.Processor {
 	return procs
 }
 
+// serveTransfer prices a single-port transfer between the current
+// serving root and another rank. With a custom TransferModel installed
+// the real (from, to) pair is consulted. Under the default star model
+// the cost is the non-serving endpoint's link cost: for the designated
+// root this is exactly the star transfer, and for a promoted root it
+// models the new server streaming through the star's switch at the
+// other endpoint's link rate — the hub of the platform is the network,
+// not the dead machine.
+func (w *World) serveTransfer(server, other, items int, serverSends bool) float64 {
+	if server == other {
+		return 0
+	}
+	if w.transfer != nil {
+		if serverSends {
+			return w.transfer(server, other, items)
+		}
+		return w.transfer(other, server, items)
+	}
+	return w.procs[other].Comm.Eval(items)
+}
+
+// Rebalance describes one re-solve of the distribution problem during
+// recovery: the scatter round its sends went out in, the serving root
+// at that point, and the redistribution of the reclaimed pool over the
+// survivors (Ranks in service order with the root last, Dist
+// matching). The chaos harness audits each record against a fresh
+// solve to keep recovery inside the Eq. (4) guarantee band.
+type Rebalance struct {
+	Round int
+	Root  int
+	Items int
+	Ranks []int
+	// Procs are the processors the re-solve ran over (service order
+	// matching Ranks, the root's Comm forced to zero), so auditors can
+	// re-evaluate the distribution without access to the world.
+	Procs []core.Processor
+	Dist  core.Distribution
+}
+
 // ScatterReport describes how a fault-tolerant scatter went.
 type ScatterReport struct {
 	// Planned is the requested per-rank distribution (the counts
@@ -77,14 +130,27 @@ type ScatterReport struct {
 	Failed []int
 	// Retries counts re-sent transfers; Timeouts counts transfer
 	// attempts the root gave up on; Rounds counts scatter rounds (1 for
-	// a failure-free run, +1 per rebalance).
+	// a failure-free run, +1 per rebalance or resume).
 	Retries, Timeouts, Rounds int
+	// Failovers counts root re-elections; RootPath lists every serving
+	// root in order, the original first (length Failovers+1).
+	Failovers int
+	RootPath  []int
+	// Rebalances records every recovery re-solve in order.
+	Rebalances []Rebalance
+	// Ledger is the final delivery ledger (shared between the ranks'
+	// reports; read-only).
+	Ledger *fault.Ledger
 	// Survivors is a communicator over the surviving ranks, rooted at
-	// the same processor, for the rest of the program to continue on.
-	// It is the receiver's own communicator when nothing failed, and
-	// nil for a rank that failed.
+	// the final serving root, for the rest of the program to continue
+	// on. It is the receiver's own communicator when nothing failed,
+	// and nil for a rank that failed.
 	Survivors *Comm
 }
+
+// FinalRoot returns the root that completed the scatter (the last
+// entry of RootPath).
+func (r *ScatterReport) FinalRoot() int { return r.RootPath[len(r.RootPath)-1] }
 
 // ftShared is the per-scatter outcome shared by every rank's report.
 type ftShared struct {
@@ -93,7 +159,27 @@ type ftShared struct {
 	retries        int
 	timeouts       int
 	rounds         int
+	failovers      int
+	rootPath       []int
+	rebalances     []Rebalance
+	ledger         *fault.Ledger
 	sub            *World // nil when nothing failed
+}
+
+// report assembles the public report from the shared outcome.
+func (sh *ftShared) report() *ScatterReport {
+	return &ScatterReport{
+		Planned:    sh.planned,
+		Final:      sh.final,
+		Failed:     sh.failedRanks,
+		Retries:    sh.retries,
+		Timeouts:   sh.timeouts,
+		Rounds:     sh.rounds,
+		Failovers:  sh.failovers,
+		RootPath:   sh.rootPath,
+		Rebalances: sh.rebalances,
+		Ledger:     sh.ledger,
+	}
 }
 
 // ftOut is the per-rank outcome of a fault-tolerant scatter.
@@ -105,14 +191,24 @@ type ftOut[T any] struct {
 	shared  *ftShared
 }
 
+// deliver outcomes.
+const (
+	stDelivered = iota // the items landed and were checkpointed
+	stDestLost         // the destination exhausted its retries
+	stRootLost         // the serving root crashed; failover required
+)
+
 // FaultTolerantScatterv distributes data from the root like Scatterv,
 // but supervises every transfer against the world's fault plan:
-// timed-out sends are retried with capped exponential backoff, and
-// ranks that crash or exhaust their retries are declared dead and
-// their items re-balanced over the survivors in further scatter
-// rounds. Ranks declared dead receive an error wrapping ErrRankFailed;
-// surviving ranks receive their (possibly enlarged) chunk and a report
-// with a communicator over the survivors.
+// timed-out sends are retried with capped exponential backoff, ranks
+// that crash or exhaust their retries are declared dead and their
+// items re-balanced over the survivors in further scatter rounds, and
+// a crash of the serving root itself triggers a deterministic
+// re-election that resumes the scatter from the replicated ledger's
+// last checkpoint. Ranks declared dead receive an error wrapping
+// ErrRankFailed; surviving ranks receive their (possibly enlarged)
+// chunk and a report with a communicator over the survivors rooted at
+// the final serving root.
 func FaultTolerantScatterv[T any](c *Comm, data []T, counts []int) ([]T, *ScatterReport, error) {
 	type in struct {
 		data   []T
@@ -120,8 +216,8 @@ func FaultTolerantScatterv[T any](c *Comm, data []T, counts []int) ([]T, *Scatte
 	}
 	out, err := c.rendezvous(in{data, counts}, func(w *World, clocks []float64, inputs []any) ([]float64, []float64, []any, error) {
 		p := w.Size()
-		root := w.rootRank
-		rootIn := inputs[root].(in)
+		origRoot := w.rootRank
+		rootIn := inputs[origRoot].(in)
 		counts := rootIn.counts
 		if len(counts) != p {
 			return nil, nil, nil, fmt.Errorf("mpi: scatterv with %d counts for %d ranks", len(counts), p)
@@ -138,53 +234,81 @@ func FaultTolerantScatterv[T any](c *Comm, data []T, counts []int) ([]T, *Scatte
 		}
 		plan := w.fc.plan
 		pol := w.fc.policy.WithDefaults()
-		if _, crashes := plan.CrashTime(w.globalRank(root)); crashes {
-			return nil, nil, nil, fmt.Errorf("mpi: fault plan crashes the root rank %d; the root must survive", root)
-		}
 
-		// Round 1 ships the requested distribution.
-		roundData := make([][]T, p)
-		off := 0
-		for r, n := range counts {
-			roundData[r] = rootIn.data[off : off+n]
-			off += n
-		}
+		root := origRoot
+		t := clocks[root]
+		rootCrash, rootCrashes := plan.CrashTime(w.globalRank(root))
 
-		delivered := make([][]T, p)
 		alive := make([]bool, p)
+		lastEnd := make([]float64, p)
 		for r := range alive {
 			alive[r] = true
+			lastEnd[r] = clocks[r]
 		}
 		dead := make([]bool, p)
 		recvSpans := make([][]Span, p)
-		recvEnd := make([]float64, p)
-		var rootSpans []Span
-		sh := &ftShared{planned: append(core.Distribution(nil), counts...)}
+		serveSpans := make([][]Span, p)
 
-		t := clocks[root]
+		ledger := fault.NewLedger()
+		sh := &ftShared{
+			planned:  append(core.Distribution(nil), counts...),
+			rootPath: []int{root},
+			ledger:   ledger,
+		}
+
 		observe := func(ev fault.SendEvent) {
 			if w.fc.observer != nil {
 				w.fc.observer(ev)
 			}
 		}
 
-		// deliver supervises the transfer of items to rank r, retrying
-		// under the policy. It advances the root's port time t and
-		// reports whether the items landed.
-		deliver := func(r, round int, items []T) bool {
+		// Round 1 ships the requested distribution: contiguous ranges
+		// of the root's buffer, in rank order.
+		assign := make([][]fault.Range, p)
+		off := 0
+		for r, n := range counts {
+			if n > 0 {
+				assign[r] = []fault.Range{{Lo: off, Hi: off + n}}
+			}
+			off += n
+		}
+
+		// deliver supervises the transfer of the ranges to rank r,
+		// retrying under the policy. It advances the serving root's
+		// port time t and reports how the attempt sequence ended. Every
+		// step first resolves the serving root's own crash against the
+		// simulated clock: a transfer, timeout or backoff the crash
+		// instant falls inside is cut short and triggers a failover.
+		deliver := func(r int, ranges []fault.Range, label string) int {
+			items := fault.RangeLen(ranges)
 			gr := w.globalRank(r)
 			name := w.procs[r].Name
-			nominal := w.transferTime(root, r, len(items))
-			sendLabel := fmt.Sprintf("send→%s", name)
-			if round > 1 {
-				sendLabel = fmt.Sprintf("rebalance→%s", name)
-			}
+			server := w.procs[root].Name
+			nominal := w.serveTransfer(root, r, items, true)
 			for attempt := 0; ; attempt++ {
+				if rootCrashes && t >= rootCrash {
+					return stRootLost
+				}
 				d := nominal * plan.Slowdown(gr, t)
 				arrive := t + d
+				if rootCrashes && rootCrash < arrive {
+					// The server dies mid-transfer: the send is never
+					// confirmed, so the destination discards the
+					// partial data and the items stay in the pool.
+					serveSpans[root] = append(serveSpans[root], Span{
+						Phase: PhaseComm, Start: t, End: rootCrash, Label: label + " (cut)",
+					})
+					observe(fault.SendEvent{
+						Rank: gr, Name: name, Server: server, At: rootCrash, Items: items,
+						Outcome: fault.SendAborted, Nominal: nominal,
+					})
+					t = rootCrash
+					lastEnd[root] = t
+					return stRootLost
+				}
 				lost := plan.Crashed(gr, arrive) || plan.DropsDuring(gr, t, arrive)
 				if !lost {
-					rootSpans = append(rootSpans, Span{Phase: PhaseComm, Start: t, End: arrive, Label: sendLabel})
+					serveSpans[root] = append(serveSpans[root], Span{Phase: PhaseComm, Start: t, End: arrive, Label: label})
 					start, end := t, arrive
 					if clocks[r] > start {
 						start = clocks[r]
@@ -192,78 +316,183 @@ func FaultTolerantScatterv[T any](c *Comm, data []T, counts []int) ([]T, *Scatte
 					if clocks[r] > end {
 						end = clocks[r]
 					}
-					recvSpans[r] = append(recvSpans[r], Span{Phase: PhaseComm, Start: start, End: end, Label: sendLabel})
-					recvEnd[r] = end
+					recvSpans[r] = append(recvSpans[r], Span{Phase: PhaseComm, Start: start, End: end, Label: label})
+					if end > lastEnd[r] {
+						lastEnd[r] = end
+					}
+					for _, rg := range ranges {
+						ledger.Deliver(r, rg, arrive)
+					}
+					ledger.ReplicateHolders()
 					observe(fault.SendEvent{
-						Rank: gr, Name: name, At: arrive, Items: len(items),
+						Rank: gr, Name: name, Server: server, At: arrive, Items: items,
 						Outcome: fault.SendDelivered, Nominal: nominal, Actual: d,
 					})
 					t = arrive
-					return true
+					lastEnd[root] = t
+					return stDelivered
+				}
+				tout := t + pol.Timeout
+				if rootCrashes && rootCrash < tout {
+					serveSpans[root] = append(serveSpans[root], Span{
+						Phase: PhaseTimeout, Start: t, End: rootCrash,
+						Label: fmt.Sprintf("timeout→%s (cut)", name),
+					})
+					t = rootCrash
+					lastEnd[root] = t
+					return stRootLost
 				}
 				sh.timeouts++
-				rootSpans = append(rootSpans, Span{
-					Phase: PhaseTimeout, Start: t, End: t + pol.Timeout,
+				serveSpans[root] = append(serveSpans[root], Span{
+					Phase: PhaseTimeout, Start: t, End: tout,
 					Label: fmt.Sprintf("timeout→%s #%d", name, attempt+1),
 				})
-				t += pol.Timeout
+				t = tout
+				lastEnd[root] = t
 				observe(fault.SendEvent{
-					Rank: gr, Name: name, At: t, Items: len(items),
+					Rank: gr, Name: name, Server: server, At: t, Items: items,
 					Outcome: fault.SendTimedOut, Nominal: nominal,
 				})
 				if attempt >= pol.MaxRetries {
-					return false
+					return stDestLost
 				}
 				sh.retries++
 				wait := pol.Backoff.Delay(attempt)
 				if wait > 0 {
-					rootSpans = append(rootSpans, Span{
-						Phase: PhaseBackoff, Start: t, End: t + wait,
+					bend := t + wait
+					if rootCrashes && rootCrash < bend {
+						serveSpans[root] = append(serveSpans[root], Span{
+							Phase: PhaseBackoff, Start: t, End: rootCrash,
+							Label: fmt.Sprintf("backoff→%s (cut)", name),
+						})
+						t = rootCrash
+						lastEnd[root] = t
+						return stRootLost
+					}
+					serveSpans[root] = append(serveSpans[root], Span{
+						Phase: PhaseBackoff, Start: t, End: bend,
 						Label: fmt.Sprintf("backoff→%s", name),
 					})
-					t += wait
+					t = bend
+					lastEnd[root] = t
 				}
 			}
 		}
 
+		allLost := false
 		for round := 1; ; round++ {
 			sh.rounds = round
 			// Serve the round's recipients in rank order over the
-			// root's single port.
-			for r := 0; r < p; r++ {
-				if r == root || !alive[r] || len(roundData[r]) == 0 {
+			// serving root's single port.
+			failover := false
+			for r := 0; r < p && !failover; r++ {
+				if r == root || !alive[r] || len(assign[r]) == 0 {
 					continue
 				}
-				if deliver(r, round, roundData[r]) {
-					delivered[r] = append(delivered[r], roundData[r]...)
-					roundData[r] = nil
-				} else {
-					alive[r] = false // keep roundData[r] for reclaiming
+				var label string
+				switch {
+				case root != origRoot:
+					label = fmt.Sprintf("resume→%s", w.procs[r].Name)
+				case round > 1:
+					label = fmt.Sprintf("rebalance→%s", w.procs[r].Name)
+				default:
+					label = fmt.Sprintf("send→%s", w.procs[r].Name)
+				}
+				switch deliver(r, assign[r], label) {
+				case stDelivered:
+					assign[r] = nil
+				case stDestLost:
+					alive[r] = false // keep assign[r] for reclaiming
+				case stRootLost:
+					failover = true
 				}
 			}
-			// The root's own share ships for free once the port is idle.
-			delivered[root] = append(delivered[root], roundData[root]...)
-			roundData[root] = nil
+			if !failover {
+				if rootCrashes && rootCrash <= t {
+					// The root dies before claiming its own share /
+					// confirming completion.
+					failover = true
+				} else if len(assign[root]) > 0 {
+					// The root's own share ships for free once the
+					// port is idle.
+					for _, rg := range assign[root] {
+						ledger.Deliver(root, rg, t)
+					}
+					ledger.ReplicateHolders()
+					assign[root] = nil
+				}
+			}
+			if failover {
+				alive[root] = false
+			}
 
 			// Sweep for crashes up to the port's current time: a rank
 			// that received its chunk and then died takes the data down
 			// with it, so its items re-enter the pool too.
 			for r := 0; r < p; r++ {
-				if r != root && alive[r] && plan.Crashed(w.globalRank(r), t) {
+				if alive[r] && r != root && plan.Crashed(w.globalRank(r), t) {
 					alive[r] = false
 				}
 			}
-			var lost []T
+			var pool []fault.Range
 			for r := 0; r < p; r++ {
-				if r == root || alive[r] || dead[r] {
+				if dead[r] || alive[r] {
 					continue
 				}
 				dead[r] = true
-				lost = append(lost, delivered[r]...)
-				lost = append(lost, roundData[r]...)
-				delivered[r], roundData[r] = nil, nil
+				pool = append(pool, ledger.Reclaim(r, t)...)
+				pool = append(pool, assign[r]...)
+				assign[r] = nil
 			}
-			if len(lost) == 0 {
+			if failover {
+				// Unsent assignments return to the pool: the successor
+				// re-reads them from the scatter's durable input.
+				for r := 0; r < p; r++ {
+					if len(assign[r]) > 0 {
+						pool = append(pool, assign[r]...)
+						assign[r] = nil
+					}
+				}
+				var survivors []int
+				for r := 0; r < p; r++ {
+					if alive[r] {
+						survivors = append(survivors, r)
+					}
+				}
+				if len(survivors) == 0 {
+					allLost = true
+					break
+				}
+				// Deterministic re-election: lowest survivor holding a
+				// fresh ledger copy. The election starts when the
+				// survivors notice the silence and ends after the
+				// agreement round.
+				newRoot, _ := ledger.ElectRoot(survivors)
+				electStart := t
+				if clocks[newRoot] > electStart {
+					electStart = clocks[newRoot]
+				}
+				if lastEnd[newRoot] > electStart {
+					electStart = lastEnd[newRoot]
+				}
+				electEnd := electStart + pol.Election
+				serveSpans[newRoot] = append(serveSpans[newRoot], Span{
+					Phase: PhaseFailover, Start: electStart, End: electEnd,
+					Label: fmt.Sprintf("failover %s→%s", w.procs[root].Name, w.procs[newRoot].Name),
+				})
+				sh.failovers++
+				root = newRoot
+				sh.rootPath = append(sh.rootPath, root)
+				rootCrash, rootCrashes = plan.CrashTime(w.globalRank(root))
+				t = electEnd
+				lastEnd[root] = electEnd
+				ledger.Replicate(root)
+			}
+			pool = fault.CoalesceRanges(pool)
+			if len(pool) == 0 {
+				if failover {
+					continue // nothing pending; next round just confirms
+				}
 				break
 			}
 
@@ -277,29 +506,36 @@ func FaultTolerantScatterv[T any](c *Comm, data []T, counts []int) ([]T, *Scatte
 				}
 			}
 			survivors = append(survivors, root)
-			dist := core.Uniform(len(survivors), len(lost))
-			if res, err := solveByClass(w.rebalanceProcs(survivors), len(lost)); err == nil {
+			n := fault.RangeLen(pool)
+			solveProcs := w.rebalanceProcs(survivors)
+			dist := core.Uniform(len(survivors), n)
+			if res, err := solveByClass(solveProcs, n); err == nil {
 				dist = res.Distribution
 			}
-			off := 0
+			parts := fault.SplitRanges(pool, dist)
 			for pos, r := range survivors {
-				roundData[r] = lost[off : off+dist[pos]]
-				off += dist[pos]
+				assign[r] = parts[pos]
 			}
+			sh.rebalances = append(sh.rebalances, Rebalance{
+				Round: round + 1, Root: root, Items: n,
+				Ranks: append([]int(nil), survivors...),
+				Procs: solveProcs,
+				Dist:  append(core.Distribution(nil), dist...),
+			})
 		}
 
 		// Assemble the shared report and per-rank outcomes.
 		sh.final = make(core.Distribution, p)
 		for r := 0; r < p; r++ {
-			sh.final[r] = len(delivered[r])
-			if dead[r] {
+			sh.final[r] = ledger.Held(r)
+			if dead[r] || allLost {
 				sh.failedRanks = append(sh.failedRanks, r)
 			}
 		}
 		sort.Ints(sh.failedRanks)
 		var subRanks []int
 		subRank := make([]int, p)
-		if len(sh.failedRanks) > 0 {
+		if len(sh.failedRanks) > 0 && !allLost {
 			for r := 0; r < p; r++ {
 				if !dead[r] {
 					subRank[r] = len(subRanks)
@@ -322,28 +558,23 @@ func FaultTolerantScatterv[T any](c *Comm, data []T, counts []int) ([]T, *Scatte
 			commStarts[r] = clocks[r]
 			outClocks[r] = clocks[r]
 			o := ftOut[T]{shared: sh}
-			switch {
-			case r == root:
-				o.chunk = delivered[r]
-				o.spans = rootSpans
-			case dead[r]:
+			spans := append(append([]Span(nil), recvSpans[r]...), serveSpans[r]...)
+			if dead[r] || allLost {
 				o.failed = true
-				o.spans = recvSpans[r]
 				start := clocks[r]
-				if recvEnd[r] > start {
-					start = recvEnd[r]
+				if lastEnd[r] > start {
+					start = lastEnd[r]
 				}
 				if ct, ok := plan.CrashTime(w.globalRank(r)); ok && ct > start {
-					o.spans = append(append([]Span(nil), o.spans...),
-						Span{Phase: PhaseIdle, Start: start, End: ct, Label: "crashed"})
+					spans = append(spans, Span{Phase: PhaseIdle, Start: start, End: ct, Label: "crashed"})
 				}
-			default:
-				o.chunk = delivered[r]
-				o.spans = recvSpans[r]
+			} else {
+				o.chunk = chunkOf(rootIn.data, ledger.Holdings(r))
+				if sh.sub != nil {
+					o.subRank = subRank[r]
+				}
 			}
-			if !dead[r] && sh.sub != nil {
-				o.subRank = subRank[r]
-			}
+			o.spans = spans
 			outputs[r] = o
 		}
 		// Mark the dead so the rest of the program fails fast instead
@@ -359,14 +590,7 @@ func FaultTolerantScatterv[T any](c *Comm, data []T, counts []int) ([]T, *Scatte
 	o := out.(ftOut[T])
 	c.playSpans(o.spans)
 	sh := o.shared
-	rep := &ScatterReport{
-		Planned:  sh.planned,
-		Final:    sh.final,
-		Failed:   sh.failedRanks,
-		Retries:  sh.retries,
-		Timeouts: sh.timeouts,
-		Rounds:   sh.rounds,
-	}
+	rep := sh.report()
 	if o.failed {
 		return nil, rep, fmt.Errorf("mpi: rank %d: %w", c.rank, ErrRankFailed)
 	}
@@ -377,4 +601,22 @@ func FaultTolerantScatterv[T any](c *Comm, data []T, counts []int) ([]T, *Scatte
 		rep.Survivors = c
 	}
 	return o.chunk, rep, nil
+}
+
+// chunkOf assembles a rank's chunk from its ledger holdings. A single
+// contiguous range aliases the root's buffer (the failure-free
+// zero-copy path); fragmented holdings are concatenated into a fresh
+// slice, ordered by original item index.
+func chunkOf[T any](data []T, holdings []fault.Range) []T {
+	switch len(holdings) {
+	case 0:
+		return nil
+	case 1:
+		return data[holdings[0].Lo:holdings[0].Hi]
+	}
+	chunk := make([]T, 0, fault.RangeLen(holdings))
+	for _, rg := range holdings {
+		chunk = append(chunk, data[rg.Lo:rg.Hi]...)
+	}
+	return chunk
 }

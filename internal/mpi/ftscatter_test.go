@@ -304,14 +304,177 @@ func TestFTScattervRebalanceHook(t *testing.T) {
 	checkExactlyOnce(t, data, [][]int{chunks[0], chunks[2], chunks[3]})
 }
 
-func TestFTScattervRootMustSurvive(t *testing.T) {
+func TestFTScattervRootFailover(t *testing.T) {
+	// The root crashes at t=1, mid-way through its first send ([0, 2] to
+	// rank 0). Nothing was confirmed, so the whole buffer is re-solved
+	// over the survivors by the elected successor — the lowest survivor,
+	// rank 0, since an empty ledger makes everyone trivially fresh.
 	w := world4(t)
 	w.SetFaultPlan(fault.MustPlan(fault.Fault{Kind: fault.Crash, Rank: 3, Start: 1}), testPolicy())
-	_, _, scatterErrs, _ := runFT(t, w, seqData(8), []int{2, 2, 2, 2})
-	for r, err := range scatterErrs {
-		if err == nil {
-			t.Errorf("rank %d accepted a plan that crashes the root", r)
+	data := seqData(8)
+	chunks, reports, scatterErrs, stats := runFT(t, w, data, []int{2, 2, 2, 2})
+
+	if !errors.Is(scatterErrs[3], ErrRankFailed) {
+		t.Fatalf("crashed root error = %v, want ErrRankFailed", scatterErrs[3])
+	}
+	for _, r := range []int{0, 1, 2} {
+		if scatterErrs[r] != nil {
+			t.Fatalf("survivor %d errored: %v", r, scatterErrs[r])
 		}
+	}
+	checkExactlyOnce(t, data, [][]int{chunks[0], chunks[1], chunks[2]})
+
+	rep := reports[0]
+	if rep.Failovers != 1 || !intsEqual(rep.RootPath, []int{3, 0}) {
+		t.Errorf("Failovers, RootPath = %d, %v; want 1, [3 0]", rep.Failovers, rep.RootPath)
+	}
+	if rep.FinalRoot() != 0 {
+		t.Errorf("FinalRoot = %d, want 0", rep.FinalRoot())
+	}
+	if !intsEqual(rep.Failed, []int{3}) || rep.Final[3] != 0 {
+		t.Errorf("Failed, Final[3] = %v, %d; want [3], 0", rep.Failed, rep.Final[3])
+	}
+	if rep.Ledger == nil {
+		t.Fatal("report has no ledger")
+	} else if err := rep.Ledger.VerifyExactlyOnce(len(data)); err != nil {
+		t.Errorf("ledger exactly-once: %v", err)
+	}
+	if len(rep.Rebalances) != 1 || rep.Rebalances[0].Root != 0 || rep.Rebalances[0].Items != 8 {
+		t.Errorf("Rebalances = %+v, want one re-solve of all 8 items rooted at 0", rep.Rebalances)
+	}
+	// The new root leads the survivor communicator.
+	if rep.Survivors == nil || !rep.Survivors.IsRoot() {
+		t.Error("rank 0 is not the root of the survivor communicator")
+	}
+
+	// Timelines: the dead root shows the cut send, the successor shows
+	// the election and serves resume rounds.
+	var cut, failover, resumes bool
+	for _, s := range stats[3].Spans {
+		if s.Phase == PhaseComm && s.Label == "send→P1 (cut)" {
+			cut = true
+		}
+	}
+	for _, s := range stats[0].Spans {
+		switch {
+		case s.Phase == PhaseFailover:
+			failover = true
+		case s.Phase == PhaseComm && len(s.Label) >= 6 && s.Label[:6] == "resume":
+			resumes = true
+		}
+	}
+	if !cut || !failover || !resumes {
+		t.Errorf("cut, failover, resume spans present = %v, %v, %v; want all", cut, failover, resumes)
+	}
+}
+
+func TestFTScattervRootFailoverResumesFromCheckpoint(t *testing.T) {
+	// The root crashes at t=3: rank 0's chunk [0, 2] was confirmed at
+	// t=2 (and checkpointed), rank 1's transfer [2, 6] is cut. The
+	// successor must resume from the ledger — re-shipping only the six
+	// unconfirmed items, never rank 0's checkpointed two.
+	w := world4(t)
+	w.SetFaultPlan(fault.MustPlan(fault.Fault{Kind: fault.Crash, Rank: 3, Start: 3}), testPolicy())
+	data := seqData(8)
+	chunks, reports, scatterErrs, _ := runFT(t, w, data, []int{2, 2, 2, 2})
+
+	for _, r := range []int{0, 1, 2} {
+		if scatterErrs[r] != nil {
+			t.Fatalf("survivor %d errored: %v", r, scatterErrs[r])
+		}
+	}
+	checkExactlyOnce(t, data, [][]int{chunks[0], chunks[1], chunks[2]})
+
+	rep := reports[0]
+	if rep.Failovers != 1 || rep.FinalRoot() != 0 {
+		t.Fatalf("Failovers, FinalRoot = %d, %d; want 1, 0", rep.Failovers, rep.FinalRoot())
+	}
+	// The checkpointed delivery survives the failover...
+	if len(chunks[0]) < 2 || chunks[0][0] != 0 || chunks[0][1] != 1 {
+		t.Errorf("rank 0 chunk = %v, want it to keep checkpointed items 0, 1", chunks[0])
+	}
+	// ...and only the unconfirmed remainder is re-solved.
+	if len(rep.Rebalances) != 1 || rep.Rebalances[0].Items != 6 {
+		t.Errorf("Rebalances = %+v, want one re-solve of the 6 unconfirmed items", rep.Rebalances)
+	}
+}
+
+func TestFTScattervRootCrashAfterCompletion(t *testing.T) {
+	// A root crash scheduled after the scatter completes is resolved
+	// against the simulated clock, not rejected up front: the scatter
+	// runs failure-free.
+	w := world4(t)
+	w.SetFaultPlan(fault.MustPlan(fault.Fault{Kind: fault.Crash, Rank: 3, Start: 100}), testPolicy())
+	data := seqData(8)
+	chunks, reports, scatterErrs, _ := runFT(t, w, data, []int{2, 2, 2, 2})
+
+	for r, err := range scatterErrs {
+		if err != nil {
+			t.Fatalf("rank %d errored: %v", r, err)
+		}
+	}
+	checkExactlyOnce(t, data, chunks)
+	rep := reports[3]
+	if rep.Failovers != 0 || rep.Rounds != 1 || len(rep.Failed) != 0 {
+		t.Errorf("report = %+v, want a failure-free single round", rep)
+	}
+}
+
+func TestFTScattervCascadingRootFailover(t *testing.T) {
+	// The root dies at t=1; its successor (rank 0) dies at t=4, during
+	// its own resume round. The remaining survivors elect again — the
+	// election winner is whichever of ranks 1, 2 holds the freshest
+	// ledger copy, and every item still lands exactly once.
+	w := world4(t)
+	w.SetFaultPlan(fault.MustPlan(
+		fault.Fault{Kind: fault.Crash, Rank: 3, Start: 1},
+		fault.Fault{Kind: fault.Crash, Rank: 0, Start: 4},
+	), testPolicy())
+	data := seqData(8)
+	chunks, reports, scatterErrs, _ := runFT(t, w, data, []int{2, 2, 2, 2})
+
+	for _, r := range []int{3, 0} {
+		if !errors.Is(scatterErrs[r], ErrRankFailed) {
+			t.Fatalf("dead rank %d error = %v, want ErrRankFailed", r, scatterErrs[r])
+		}
+	}
+	for _, r := range []int{1, 2} {
+		if scatterErrs[r] != nil {
+			t.Fatalf("survivor %d errored: %v", r, scatterErrs[r])
+		}
+	}
+	checkExactlyOnce(t, data, [][]int{chunks[1], chunks[2]})
+
+	rep := reports[1]
+	if rep.Failovers != 2 || len(rep.RootPath) != 3 || rep.RootPath[0] != 3 || rep.RootPath[1] != 0 {
+		t.Errorf("Failovers, RootPath = %d, %v; want 2 failovers from 3 via 0", rep.Failovers, rep.RootPath)
+	}
+	if !intsEqual(rep.Failed, []int{0, 3}) {
+		t.Errorf("Failed = %v, want [0 3]", rep.Failed)
+	}
+	if err := rep.Ledger.VerifyExactlyOnce(len(data)); err != nil {
+		t.Errorf("ledger exactly-once: %v", err)
+	}
+}
+
+func TestFTScattervAllRanksLost(t *testing.T) {
+	// Every rank crashes before anything can land: the scatter reports
+	// total loss on every rank instead of electing from an empty set.
+	w := world4(t)
+	w.SetFaultPlan(fault.MustPlan(
+		fault.Fault{Kind: fault.Crash, Rank: 0, Start: 0.5},
+		fault.Fault{Kind: fault.Crash, Rank: 1, Start: 0.5},
+		fault.Fault{Kind: fault.Crash, Rank: 2, Start: 0.5},
+		fault.Fault{Kind: fault.Crash, Rank: 3, Start: 0.5},
+	), testPolicy())
+	_, reports, scatterErrs, _ := runFT(t, w, seqData(8), []int{2, 2, 2, 2})
+	for r, err := range scatterErrs {
+		if !errors.Is(err, ErrRankFailed) {
+			t.Errorf("rank %d error = %v, want ErrRankFailed", r, err)
+		}
+	}
+	if rep := reports[0]; rep == nil || len(rep.Failed) != 4 || rep.Survivors != nil {
+		t.Errorf("total-loss report = %+v, want all four ranks failed and no survivors", reports[0])
 	}
 }
 

@@ -197,6 +197,10 @@ const (
 	// PhaseBackoff is time spent waiting before a retry (counted as
 	// idle time).
 	PhaseBackoff
+	// PhaseFailover is time a survivor spends detecting a dead root
+	// and running the re-election protocol before taking over as the
+	// serving root (counted as idle time).
+	PhaseFailover
 )
 
 // String names the phase.
@@ -212,6 +216,8 @@ func (p Phase) String() string {
 		return "timeout"
 	case PhaseBackoff:
 		return "backoff"
+	case PhaseFailover:
+		return "failover"
 	default:
 		return fmt.Sprintf("phase(%d)", int(p))
 	}

@@ -15,14 +15,18 @@ import (
 
 // span colors, extending the figure palette.
 const (
-	colorRebalance = "#8055a5" // rebalance-round sends
+	colorRebalance = "#8055a5" // rebalance-round and resume-round sends
 	colorTimeout   = "#e09040" // root port waiting on a lost send
 	colorBackoff   = "#b0b0b0" // retry backoff
 	colorCrashed   = "#404040" // a crashed rank's final idle
+	colorFailover  = "#c23b50" // root re-election after a failover
 )
 
-// isRebalance reports whether a comm span belongs to a rebalance round.
-func isRebalance(s mpi.Span) bool { return strings.HasPrefix(s.Label, "rebalance") }
+// isRebalance reports whether a comm span belongs to a recovery round:
+// a rebalance over survivors, or a resume by a promoted root.
+func isRebalance(s mpi.Span) bool {
+	return strings.HasPrefix(s.Label, "rebalance") || strings.HasPrefix(s.Label, "resume")
+}
 
 // spanChar maps a span to its ASCII Gantt cell. Plain idle renders as
 // the background ('.') and is skipped.
@@ -39,6 +43,8 @@ func spanChar(s mpi.Span) (byte, bool) {
 		return '!', true
 	case mpi.PhaseBackoff:
 		return '~', true
+	case mpi.PhaseFailover:
+		return 'F', true
 	default:
 		if s.Label == "crashed" {
 			return 'x', true
@@ -48,9 +54,10 @@ func spanChar(s mpi.Span) (byte, bool) {
 }
 
 // RankGantt renders per-rank runtime spans as an ASCII Gantt chart,
-// width characters across: '=' communication, 'R' rebalance-round
-// communication, '#' computation, '!' timeout, '~' backoff, 'x' the
-// tail of a crashed rank, '.' idle.
+// width characters across: '=' communication, 'R' rebalance- or
+// resume-round communication, '#' computation, '!' timeout, '~'
+// backoff, 'F' root re-election, 'x' the tail of a crashed rank,
+// '.' idle.
 func RankGantt(stats []mpi.RankStats, width int) string {
 	if width < 10 {
 		width = 10
@@ -98,7 +105,7 @@ func RankGantt(stats []mpi.RankStats, width int) string {
 		fmt.Fprintf(&sb, "%-*s |%s|\n", nameW, s.Name, row)
 	}
 	fmt.Fprintf(&sb, "%-*s  0%*s\n", nameW, "", width, fmt.Sprintf("%.1fs", makespan))
-	sb.WriteString("legend: = comm  R rebalance  # comp  ! timeout  ~ backoff  x crashed  . idle\n")
+	sb.WriteString("legend: = comm  R rebalance/resume  # comp  ! timeout  ~ backoff  F failover  x crashed  . idle\n")
 	return sb.String()
 }
 
@@ -116,6 +123,8 @@ func spanColor(s mpi.Span) (string, bool) {
 		return colorTimeout, true
 	case mpi.PhaseBackoff:
 		return colorBackoff, true
+	case mpi.PhaseFailover:
+		return colorFailover, true
 	default:
 		if s.Label == "crashed" {
 			return colorCrashed, true
@@ -192,6 +201,7 @@ func RankSVG(stats []mpi.RankStats, title string) string {
 		{colorTotal, "comp"},
 		{colorTimeout, "timeout"},
 		{colorBackoff, "backoff"},
+		{colorFailover, "failover"},
 		{colorCrashed, "crashed"},
 	}
 	lx := marginL
