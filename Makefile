@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-fault bench-recovery figures fmt lint check ci
+.PHONY: all build vet test race bench bench-fault bench-recovery bench-solver figures fmt lint check ci
 
 all: build
 
@@ -28,6 +28,12 @@ bench-fault:
 # chaos pipeline vs its fault-free baseline on the Table 1 grid).
 bench-recovery:
 	$(GO) run ./cmd/scatterbench -recovery BENCH_recovery.json
+
+# Regenerate BENCH_solver.json (incremental solver engine vs the
+# from-scratch DP at the paper's full 817,101-item scale: cold solves,
+# warm crash re-solves, plan-cache hits). Takes a few minutes.
+bench-solver:
+	$(GO) run ./cmd/scatterbench -solver BENCH_solver.json
 
 # Regenerate figures/fault.svg alongside the demo's console report.
 figures:

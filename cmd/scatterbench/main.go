@@ -9,11 +9,17 @@
 //	scatterbench -recovery BENCH_recovery.json
 //	                                 # recovery benchmark only: write the
 //	                                 # failover-overhead JSON and exit
+//	scatterbench -solver BENCH_solver.json
+//	                                 # solver benchmark only: write the
+//	                                 # incremental-engine JSON and exit
+//	scatterbench -exp algocost -cpuprofile cpu.out -memprofile mem.out
+//	                                 # profile any run with runtime/pprof
 //
 // Experiment IDs: table1, fig1, fig2, fig3, fig4, algocost, quality,
-// ordering, bound, root. Note that algocost times the exact dynamic
-// program at the paper's full scale (817,101 items) and takes about a
-// minute.
+// ordering, bound, root, solver. Note that algocost times the exact
+// dynamic program at the paper's full scale (817,101 items) and takes
+// about a minute, and that -solver runs the same DP several times at
+// that scale.
 package main
 
 import (
@@ -21,19 +27,56 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/experiment"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment ID to run, or 'all'")
-		list     = flag.Bool("list", false, "list experiment IDs and exit")
-		md       = flag.String("md", "", "also write a Markdown summary to this file")
-		svgDir   = flag.String("svg", "", "write figure SVGs into this directory")
-		recovery = flag.String("recovery", "", "run only the recovery benchmark and write its JSON to this file")
+		exp        = flag.String("exp", "all", "experiment ID to run, or 'all'")
+		list       = flag.Bool("list", false, "list experiment IDs and exit")
+		md         = flag.String("md", "", "also write a Markdown summary to this file")
+		svgDir     = flag.String("svg", "", "write figure SVGs into this directory")
+		recovery   = flag.String("recovery", "", "run only the recovery benchmark and write its JSON to this file")
+		solver     = flag.String("solver", "", "run only the solver benchmark and write its JSON to this file")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scatterbench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "scatterbench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "scatterbench: cpuprofile: %v\n", err)
+			}
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "scatterbench: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "scatterbench: memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, id := range experiment.IDs() {
@@ -53,6 +96,20 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *recovery)
+		return
+	}
+
+	if *solver != "" {
+		buf, err := experiment.SolverJSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scatterbench: solver: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*solver, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "scatterbench: write %s: %v\n", *solver, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *solver)
 		return
 	}
 

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+
+	"repro/internal/cost"
+)
+
+// PlatformClass returns the weakest analytic class among all cost
+// functions of procs: the class that decides which solver is safe for
+// the platform. It is the single dispatch rule shared by the Engine,
+// the mpi runtime and the chaos harness.
+func PlatformClass(procs []Processor) cost.Class {
+	class := cost.LinearClass
+	for _, p := range procs {
+		for _, f := range []cost.Function{p.Comm, p.Comp} {
+			if c := cost.ClassOf(f); c < class {
+				class = c
+			}
+		}
+	}
+	return class
+}
+
+// EngineStats counts how the Engine satisfied its solves.
+type EngineStats struct {
+	// ColdSolves is the number of from-scratch plan builds.
+	ColdSolves int
+	// Resolves is the number of warm starts: a cached plan's rows were
+	// partially or fully reused for a different platform or item count.
+	Resolves int
+	// CacheHits is the number of solves answered entirely from a cached
+	// plan (O(p) reconstruction, no DP work).
+	CacheHits int
+	// Fallbacks is the number of solves routed to the non-incremental
+	// solvers: general-class platforms (Algorithm 1) or opaque cost
+	// functions that cannot be fingerprinted (fresh Algorithm 2).
+	Fallbacks int
+}
+
+// Engine is the incremental solver: it answers distribution requests
+// from a bounded cache of retained plans, warm-starting from the plan
+// with the longest matching platform suffix and falling back to a cold
+// solve only when nothing is reusable. All results are bit-identical to
+// the fresh class-dispatched solvers (Algorithm 1 for general
+// platforms, Algorithm 2 otherwise). Safe for concurrent use.
+type Engine struct {
+	mu    sync.Mutex
+	cache *PlanCache
+	tabs  *tabCache
+	stats EngineStats
+}
+
+// DefaultPlanCacheCapacity bounds an Engine's plan cache when
+// NewEngine is given a non-positive capacity. Rebalance sequences
+// shrink one platform signature at a time, so a handful of retained
+// plans covers a whole crash cascade.
+const DefaultPlanCacheCapacity = 8
+
+// NewEngine returns an Engine whose cache holds up to capacity plans
+// (DefaultPlanCacheCapacity when capacity <= 0).
+func NewEngine(capacity int) *Engine {
+	if capacity <= 0 {
+		capacity = DefaultPlanCacheCapacity
+	}
+	return &Engine{cache: NewPlanCache(capacity), tabs: newTabCache()}
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() EngineStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Solve computes an optimal distribution of n items over procs (service
+// order, root last), reusing retained DP state whenever it provably
+// cannot change the result: an exact platform-signature hit answers in
+// O(p); otherwise the cached plan sharing the longest cost-fingerprint
+// suffix is warm-started via Plan.resolve; otherwise a cold plan is
+// built and retained. General-class platforms and opaque cost functions
+// bypass the plan machinery entirely.
+func (e *Engine) Solve(procs []Processor, n int) (Result, error) {
+	if PlatformClass(procs) == cost.General {
+		e.count(func(s *EngineStats) { s.Fallbacks++ })
+		return Algorithm1(procs, n)
+	}
+	fps := fingerprints(procs)
+	for _, fp := range fps {
+		if fp == "" {
+			e.count(func(s *EngineStats) { s.Fallbacks++ })
+			return Algorithm2(procs, n)
+		}
+	}
+	sig := strings.Join(fps, ";")
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	if pl := e.cache.Get(sig); pl != nil && pl.n >= n {
+		e.stats.CacheHits++
+		return pl.Lookup(n, 0)
+	}
+	if base := e.cache.bestSuffix(fps, n); base != nil {
+		derived, err := base.resolve(e.tabs, n, procs)
+		if err == nil {
+			e.stats.Resolves++
+			e.cache.Put(sig, derived)
+			return derived.Lookup(n, 0)
+		}
+	}
+	pl, err := solvePlan(e.tabs, procs, n)
+	if err != nil {
+		return Result{}, err
+	}
+	e.stats.ColdSolves++
+	e.cache.Put(sig, pl)
+	return pl.Lookup(n, 0)
+}
+
+func (e *Engine) count(f func(*EngineStats)) {
+	e.mu.Lock()
+	f(&e.stats)
+	e.mu.Unlock()
+}
+
+// PlanCache is a bounded LRU cache of retained plans keyed by the
+// canonical platform signature (the joined per-processor cost
+// fingerprints). Recency is tracked structurally — a move-to-front
+// list — so the cache needs no clock, which keeps it usable inside the
+// simulated-time runtime. Not safe for concurrent use; the Engine
+// serializes access.
+type PlanCache struct {
+	capacity int
+	ll       *list.List // front = most recently used; element values are *cacheEntry
+	byKey    map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	plan *Plan
+}
+
+// NewPlanCache returns a cache holding up to capacity plans (minimum 1).
+func NewPlanCache(capacity int) *PlanCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &PlanCache{capacity: capacity, ll: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+// Len returns the number of cached plans.
+func (c *PlanCache) Len() int { return c.ll.Len() }
+
+// Get returns the plan cached under sig, bumping its recency, or nil.
+func (c *PlanCache) Get(sig string) *Plan {
+	el, ok := c.byKey[sig]
+	if !ok {
+		return nil
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).plan
+}
+
+// Put caches pl under sig as the most recent entry, evicting the least
+// recently used plan if the cache is full. Evicted (or replaced) plans
+// have their row buffers recycled; rows borrowed by a still-cached
+// derived plan are left alone (see planRow.lent).
+func (c *PlanCache) Put(sig string, pl *Plan) {
+	if el, ok := c.byKey[sig]; ok {
+		ent := el.Value.(*cacheEntry)
+		if ent.plan != pl {
+			ent.plan.release()
+			ent.plan = pl
+		}
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byKey[sig] = c.ll.PushFront(&cacheEntry{key: sig, plan: pl})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		ent := oldest.Value.(*cacheEntry)
+		c.ll.Remove(oldest)
+		delete(c.byKey, ent.key)
+		ent.plan.release()
+	}
+}
+
+// bestSuffix returns the cached plan sharing the longest non-empty
+// cost-fingerprint suffix with fps, restricted to plans wide enough to
+// answer n items (resolve reuses suffix rows verbatim, so they must
+// cover the requested width). Ties go to the more recently used plan.
+func (c *PlanCache) bestSuffix(fps []string, n int) *Plan {
+	var best *Plan
+	bestT := 0
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		pl := el.Value.(*cacheEntry).plan
+		if pl.n < n {
+			continue
+		}
+		t := commonFPSuffix(pl.fps, fps)
+		if t > bestT {
+			best, bestT = pl, t
+		}
+	}
+	return best
+}
+
+// commonFPSuffix counts matching trailing fingerprints, stopping at
+// opaque ("") entries.
+func commonFPSuffix(a, b []string) int {
+	t := 0
+	for t < len(a) && t < len(b) {
+		fp := b[len(b)-1-t]
+		if fp == "" || fp != a[len(a)-1-t] {
+			break
+		}
+		t++
+	}
+	return t
+}

@@ -5,23 +5,81 @@ import (
 	"sync"
 )
 
+// rowJob is one contiguous chunk of a DP row for a pool worker.
+type rowJob struct {
+	comm, comp, costNext, costCur []float64
+	choice                        []int32
+	lo, hi                        int
+}
+
+// rowPool is a persistent pool of workers computing disjoint chunks of
+// DP rows. The workers are spawned once per solve and reused for every
+// row, replacing the previous per-row goroutine fan-out (p × chunks
+// spawns per solve). Within a row, chunks are independent (they only
+// read the previous row), so the result is bit-identical to the
+// sequential recurrence; the row-to-row dependency stays sequential via
+// the per-row barrier in row().
+type rowPool struct {
+	jobs    chan rowJob
+	wg      sync.WaitGroup // per-row barrier
+	workers int
+}
+
+// newRowPool starts workers goroutines (GOMAXPROCS when workers <= 0)
+// that wait for row chunks. Callers must close() the pool when done.
+func newRowPool(workers int) *rowPool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rp := &rowPool{jobs: make(chan rowJob, workers), workers: workers}
+	for k := 0; k < workers; k++ {
+		go func() {
+			for j := range rp.jobs {
+				rowRange(j.comm, j.comp, j.costNext, j.costCur, j.choice, j.lo, j.hi)
+				rp.wg.Done()
+			}
+		}()
+	}
+	return rp
+}
+
+// row fills costCur[1..n] and choice[1..n] from costNext across the
+// pool and returns once the whole row is done (the caller fills the
+// d = 0 entry). Chunks are large enough to amortize channel traffic and
+// keep each worker on a contiguous cache range.
+func (rp *rowPool) row(comm, comp, costNext, costCur []float64, choice []int32, n int) {
+	chunk := (n + rp.workers*4) / (rp.workers * 4)
+	if chunk < 1024 {
+		chunk = 1024
+	}
+	for lo := 1; lo <= n; lo += chunk {
+		hi := lo + chunk - 1
+		if hi > n {
+			hi = n
+		}
+		rp.wg.Add(1)
+		rp.jobs <- rowJob{comm: comm, comp: comp, costNext: costNext, costCur: costCur, choice: choice, lo: lo, hi: hi}
+	}
+	rp.wg.Wait()
+}
+
+// close shuts the workers down once all submitted rows have completed.
+func (rp *rowPool) close() { close(rp.jobs) }
+
 // Algorithm2Parallel is Algorithm 2 with the inner loop parallelized:
 // within one DP row i, the entries cost[d, i] for different d are
-// independent (they only read the previous row), so they can be
-// computed by a pool of workers over chunks of the d range. The
+// independent (they only read the previous row), so they are computed
+// by a persistent pool of workers over chunks of the d range. The
 // row-to-row dependency remains sequential. Results are bit-identical
 // to Algorithm2.
 //
 // Parallelism pays off when n is large (the paper's 817,101-item runs
-// take tens of seconds single-threaded); for small n the goroutine
-// fan-out costs more than it saves, so callers with tiny inputs should
-// prefer Algorithm2. Workers <= 0 selects GOMAXPROCS.
+// take tens of seconds single-threaded); for small n the pool costs
+// more than it saves, so callers with tiny inputs should prefer
+// Algorithm2. Workers <= 0 selects GOMAXPROCS.
 func Algorithm2Parallel(procs []Processor, n, workers int) (Result, error) {
 	if err := validateDPInput(procs, n); err != nil {
 		return Result{}, err
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
 	}
 	p := len(procs)
 
@@ -40,32 +98,16 @@ func Algorithm2Parallel(procs []Processor, n, workers int) (Result, error) {
 		choice[p-1][d] = int32(d)
 	}
 
-	// Chunked parallel sweep of one row. Chunks are large enough to
-	// amortize scheduling and keep each worker on a contiguous cache
-	// range.
-	chunk := (n + workers*4) / (workers * 4)
-	if chunk < 1024 {
-		chunk = 1024
-	}
+	rp := newRowPool(workers)
+	defer rp.close()
 
 	for i := p - 2; i >= 0; i-- {
 		tabulate(procs[i], n, comm, comp)
 		costCur[0] = comm[0] + maxf(comp[0], costNext[0])
 		choice[i][0] = 0
-
-		var wg sync.WaitGroup
-		for lo := 1; lo <= n; lo += chunk {
-			hi := lo + chunk - 1
-			if hi > n {
-				hi = n
-			}
-			wg.Add(1)
-			go func(lo, hi int) {
-				defer wg.Done()
-				rowRange(comm, comp, costNext, costCur, choice[i], lo, hi)
-			}(lo, hi)
+		if n >= 1 {
+			rp.row(comm, comp, costNext, costCur, choice[i], n)
 		}
-		wg.Wait()
 		costCur, costNext = costNext, costCur
 	}
 
@@ -75,7 +117,9 @@ func Algorithm2Parallel(procs []Processor, n, workers int) (Result, error) {
 // rowRange fills cost[d] and choice[d] for d in [lo, hi] using the
 // Algorithm 2 recurrence (binary-searched crossover + early break).
 // It only reads comm, comp and costNext, so disjoint ranges may run
-// concurrently.
+// concurrently. This is the single row kernel shared by
+// Algorithm2Parallel and the incremental Plan solver, which is what
+// keeps their results bit-identical to Algorithm2.
 func rowRange(comm, comp, costNext, costCur []float64, choiceRow []int32, lo, hi int) {
 	for d := lo; d <= hi; d++ {
 		// Binary search for emax (see Algorithm2Opt).

@@ -1,0 +1,100 @@
+package cost
+
+import (
+	"hash/fnv"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Fingerprint returns a canonical string identifying the exact numeric
+// behaviour of f, and whether such a string exists. Two functions with
+// equal fingerprints evaluate bit-identically at every item count, so
+// fingerprints are safe keys for memoizing DP rows across solves (see
+// core.Plan): reusing a row computed under an equal fingerprint cannot
+// change a single bit of the result.
+//
+// Only the structural cost types of this package are fingerprintable.
+// Opaque functions (Func, or any foreign implementation) return
+// ("", false); callers must then fall back to a fresh solve, since two
+// closures cannot be proven equal.
+//
+// Normalizations are applied only when they provably preserve every
+// Eval result bit-for-bit: an Affine with a zero Fixed part
+// fingerprints as the equivalent Linear (0 + a·x == a·x exactly in
+// IEEE-754 for the non-negative values the cost model allows, and both
+// types tabulate through the same closed form).
+func Fingerprint(f Function) (string, bool) {
+	switch cf := f.(type) {
+	case Linear:
+		return "lin(" + hexFloat(cf.PerItem) + ")", true
+	case Affine:
+		if cf.Fixed == 0 {
+			return "lin(" + hexFloat(cf.PerItem) + ")", true
+		}
+		return "aff(" + hexFloat(cf.Fixed) + "," + hexFloat(cf.PerItem) + ")", true
+	case Table:
+		h := fnv.New64a()
+		var buf [8]byte
+		for _, v := range cf.Values {
+			putUint64(buf[:], math.Float64bits(v))
+			h.Write(buf[:])
+		}
+		inc := "g"
+		if cf.Increasing {
+			inc = "i"
+		}
+		return "tab(" + inc + "," + strconv.Itoa(len(cf.Values)) + "," +
+			strconv.FormatUint(h.Sum64(), 16) + ")", true
+	case PiecewiseLinear:
+		h := fnv.New64a()
+		var buf [8]byte
+		for _, bp := range cf.Points {
+			putUint64(buf[:], uint64(int64(bp.X)))
+			h.Write(buf[:])
+			putUint64(buf[:], math.Float64bits(bp.Y))
+			h.Write(buf[:])
+		}
+		return "pwl(" + strconv.Itoa(len(cf.Points)) + "," +
+			strconv.FormatUint(h.Sum64(), 16) + ")", true
+	case Sum:
+		parts := make([]string, len(cf.Terms))
+		for i, t := range cf.Terms {
+			fp, ok := Fingerprint(t)
+			if !ok {
+				return "", false
+			}
+			parts[i] = fp
+		}
+		return "sum(" + strings.Join(parts, ",") + ")", true
+	case Scaled:
+		fp, ok := Fingerprint(cf.F)
+		if !ok {
+			return "", false
+		}
+		return "scl(" + hexFloat(cf.Factor) + "," + fp + ")", true
+	case Classified:
+		fp, ok := Fingerprint(cf.F)
+		if !ok {
+			return "", false
+		}
+		return "cls(" + strconv.Itoa(int(cf.C)) + "," + fp + ")", true
+	default:
+		return "", false
+	}
+}
+
+// hexFloat renders v exactly (hexadecimal mantissa, no rounding), so
+// distinct float64 values never collide.
+func hexFloat(v float64) string {
+	return strconv.FormatFloat(v, 'x', -1, 64)
+}
+
+// putUint64 writes v little-endian into b[:8]; a local helper so the
+// package keeps its tiny dependency footprint.
+func putUint64(b []byte, v uint64) {
+	_ = b[7]
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}

@@ -1,0 +1,82 @@
+package cost
+
+import "testing"
+
+func fp(t *testing.T, f Function) string {
+	t.Helper()
+	s, ok := Fingerprint(f)
+	if !ok {
+		t.Fatalf("Fingerprint(%v) not available", f)
+	}
+	return s
+}
+
+// TestFingerprintDistinguishes checks that behaviourally different
+// functions get different fingerprints and equal ones collide.
+func TestFingerprintDistinguishes(t *testing.T) {
+	distinct := []Function{
+		Linear{PerItem: 1},
+		Linear{PerItem: 1.0000000000000002}, // one ulp apart
+		Affine{Fixed: 0.5, PerItem: 1},
+		Affine{Fixed: 0.5, PerItem: 2},
+		Table{Values: []float64{0, 1, 2}, Increasing: true},
+		Table{Values: []float64{0, 1, 2}},
+		Table{Values: []float64{0, 1, 3}, Increasing: true},
+		PiecewiseLinear{Points: []Breakpoint{{X: 4, Y: 2}}},
+		PiecewiseLinear{Points: []Breakpoint{{X: 5, Y: 2}}},
+		Sum{Terms: []Function{Linear{PerItem: 1}, Linear{PerItem: 2}}},
+		Scaled{F: Linear{PerItem: 1}, Factor: 3},
+		Classified{F: Linear{PerItem: 1}, C: Increasing},
+		Classified{F: Linear{PerItem: 1}, C: AffineClass},
+	}
+	seen := map[string]int{}
+	for i, f := range distinct {
+		s := fp(t, f)
+		if j, dup := seen[s]; dup {
+			t.Errorf("functions %d and %d share fingerprint %q", i, j, s)
+		}
+		seen[s] = i
+	}
+}
+
+// TestFingerprintNormalizesZeroAffine pins the one normalization:
+// Affine with a zero fixed part evaluates bit-identically to Linear, so
+// they must share a fingerprint (their DP rows are interchangeable).
+func TestFingerprintNormalizesZeroAffine(t *testing.T) {
+	lin := fp(t, Linear{PerItem: 0.75})
+	aff := fp(t, Affine{Fixed: 0, PerItem: 0.75})
+	if lin != aff {
+		t.Fatalf("Linear %q != Affine{Fixed: 0} %q", lin, aff)
+	}
+	for x := 0; x <= 100; x++ {
+		if (Linear{PerItem: 0.75}).Eval(x) != (Affine{Fixed: 0, PerItem: 0.75}).Eval(x) {
+			t.Fatalf("eval mismatch at %d", x)
+		}
+	}
+}
+
+// TestFingerprintStable pins equality across separately-built values.
+func TestFingerprintStable(t *testing.T) {
+	a := fp(t, Table{Values: []float64{0, 0.5, 1.5, 4}, Increasing: true})
+	b := fp(t, Table{Values: []float64{0, 0.5, 1.5, 4}, Increasing: true})
+	if a != b {
+		t.Fatalf("%q != %q", a, b)
+	}
+}
+
+// TestFingerprintOpaque checks that closures — alone or nested — refuse
+// to fingerprint, since two closures cannot be proven equal.
+func TestFingerprintOpaque(t *testing.T) {
+	opaque := Func(func(x int) float64 { return float64(x) })
+	cases := []Function{
+		opaque,
+		Sum{Terms: []Function{Linear{PerItem: 1}, opaque}},
+		Scaled{F: opaque, Factor: 2},
+		Classified{F: opaque, C: Increasing},
+	}
+	for i, f := range cases {
+		if s, ok := Fingerprint(f); ok {
+			t.Errorf("case %d: fingerprint %q for opaque function", i, s)
+		}
+	}
+}

@@ -9,7 +9,7 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"table1", "fig1", "fig2", "fig3", "fig4", "algocost", "quality", "ordering", "bound", "root", "tree", "masterslave", "overlap", "multiround", "sensitivity", "heterogeneity", "hierarchy", "recovery"}
+	want := []string{"table1", "fig1", "fig2", "fig3", "fig4", "algocost", "quality", "ordering", "bound", "root", "tree", "masterslave", "overlap", "multiround", "sensitivity", "heterogeneity", "hierarchy", "recovery", "solver"}
 	ids := IDs()
 	if len(ids) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d: %v", len(ids), len(want), ids)
@@ -395,5 +395,43 @@ func TestHierarchicalScatter(t *testing.T) {
 	if zero.Measured > 0.5 {
 		t.Errorf("hierarchy 'wins' %g s at zero latency; the flat scatter should be fine there",
 			zero.Measured)
+	}
+}
+
+func TestSolverScaledDown(t *testing.T) {
+	doc, err := runSolver(4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]solverRow{}
+	for _, row := range doc.Rows {
+		names[row.Name] = row
+		if row.IdenticalToFresh != nil && !*row.IdenticalToFresh {
+			t.Errorf("%s: not bit-identical to the fresh solve", row.Name)
+		}
+		if row.Seconds < 0 {
+			t.Errorf("%s: negative duration %g", row.Name, row.Seconds)
+		}
+	}
+	for _, want := range []string{
+		"algorithm2_cold", "algorithm2_parallel", "plan_build_cold",
+		"fresh_resolve_first_served_crash", "warm_resolve_first_served_crash",
+		"fresh_resolve_mid_crash", "warm_resolve_mid_crash",
+		"engine_cold_solve", "engine_cache_hit", "engine_warm_resolve",
+	} {
+		if _, ok := names[want]; !ok {
+			t.Errorf("missing row %q", want)
+		}
+	}
+	// The pure-suffix warm resolve does no DP work at all; even at this
+	// tiny scale it must beat the fresh re-solve.
+	if doc.SpeedupWarmResolveVsCold <= 1 {
+		t.Errorf("warm resolve speedup %g, want > 1", doc.SpeedupWarmResolveVsCold)
+	}
+	if doc.SpeedupCacheHitVsCold <= 1 {
+		t.Errorf("cache hit speedup %g, want > 1", doc.SpeedupCacheHitVsCold)
+	}
+	if doc.Items != 4000 || doc.Processors != 16 {
+		t.Errorf("doc header off: items %d, processors %d", doc.Items, doc.Processors)
 	}
 }

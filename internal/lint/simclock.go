@@ -14,13 +14,16 @@ import (
 // noise configs). Wall-clock reads make makespans irreproducible;
 // real sleeps stall the rank goroutines without advancing virtual
 // time; the global math/rand source is shared, unseeded state that
-// destroys run-to-run determinism. Test files are exempt: watchdog
-// timeouts in tests legitimately use the wall clock.
+// destroys run-to-run determinism. internal/core is also covered: its
+// solvers and plan cache run inside the simulated rebalance path, so
+// any wall-clock dependence there (e.g. a time-based cache policy)
+// would leak real time into virtual-time runs. Test files are exempt:
+// watchdog timeouts in tests legitimately use the wall clock.
 var SimClock = &Analyzer{
 	Name: "simclock",
 	Doc: "simulated-time packages (internal/mpi, internal/simgrid, internal/fault, " +
-		"internal/chaos) must not call time.Now/time.Sleep or the global math/rand " +
-		"source; use Comm.Clock() and seeded rand.New(rand.NewSource(seed))",
+		"internal/chaos, internal/core) must not call time.Now/time.Sleep or the global " +
+		"math/rand source; use Comm.Clock() and seeded rand.New(rand.NewSource(seed))",
 	Run: runSimClock,
 }
 
@@ -31,6 +34,7 @@ var simulatedPkgPrefixes = []string{
 	"repro/internal/simgrid",
 	"repro/internal/fault",
 	"repro/internal/chaos",
+	"repro/internal/core",
 }
 
 // wallClockFuncs are the time package functions that read or wait on

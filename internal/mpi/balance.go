@@ -12,12 +12,14 @@ import (
 // source transformation (Section 1: the replacement "can easily be
 // automated in a software tool"; see internal/transform for the tool).
 //
-// The solver is chosen from the cost-function classes exactly like the
-// public scatter.Balance facade — closed form for linear, guaranteed
-// heuristic for affine, exact DP otherwise. If every solver fails
-// (which cannot happen for the cost models in this repository), the
-// uniform distribution is returned so the transformed program always
-// runs.
+// The solve goes through the world's incremental engine
+// (core.Engine): general-class platforms use the exact Algorithm 1,
+// everything else the exact Algorithm 2 DP retained as a core.Plan, so
+// the crash-recovery re-solves in FaultTolerantScatterv warm-start
+// from the rows this initial solve computed instead of starting over.
+// If the solve fails (which cannot happen for the cost models in this
+// repository), the uniform distribution is returned so the transformed
+// program always runs.
 func BalancedCounts(c *Comm, n int) []int {
 	w := c.world
 	p := w.Size()
@@ -41,7 +43,7 @@ func BalancedCounts(c *Comm, n int) []int {
 	}
 	procs[p-1].Comm = cost.Zero // the root costs nothing to serve
 
-	res, err := solveByClass(procs, n)
+	res, err := w.Engine().Solve(procs, n)
 	if err != nil {
 		uniform := core.Uniform(p, n)
 		return uniform
@@ -51,26 +53,4 @@ func BalancedCounts(c *Comm, n int) []int {
 		counts[r] = res.Distribution[pos]
 	}
 	return counts
-}
-
-// solveByClass mirrors the public facade's solver selection.
-func solveByClass(procs []core.Processor, n int) (core.Result, error) {
-	class := cost.LinearClass
-	for _, p := range procs {
-		for _, f := range []cost.Function{p.Comm, p.Comp} {
-			if c := cost.ClassOf(f); c < class {
-				class = c
-			}
-		}
-	}
-	switch class {
-	case cost.LinearClass:
-		return core.SolveLinear(procs, n)
-	case cost.AffineClass:
-		return core.Heuristic(procs, n)
-	case cost.Increasing:
-		return core.Algorithm2(procs, n)
-	default:
-		return core.Algorithm1(procs, n)
-	}
 }

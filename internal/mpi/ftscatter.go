@@ -509,7 +509,7 @@ func FaultTolerantScatterv[T any](c *Comm, data []T, counts []int) ([]T, *Scatte
 			n := fault.RangeLen(pool)
 			solveProcs := w.rebalanceProcs(survivors)
 			dist := core.Uniform(len(survivors), n)
-			if res, err := solveByClass(solveProcs, n); err == nil {
+			if res, err := w.Engine().Solve(solveProcs, n); err == nil {
 				dist = res.Distribution
 			}
 			parts := fault.SplitRanges(pool, dist)

@@ -54,6 +54,11 @@ type World struct {
 	// sub-worlds. See ftscatter.go.
 	fc faultConfig
 
+	// engine is the incremental solver shared with every sub-world, so
+	// failover re-solves warm-start from the plans built by earlier
+	// rounds (core.Plan suffix reuse). It has its own lock.
+	engine *core.Engine
+
 	mu          sync.Mutex
 	collectives map[int]*collective
 	mailboxes   map[pairTag]chan message
@@ -92,10 +97,22 @@ func NewWorld(procs []core.Processor, rootRank int) (*World, error) {
 	return &World{
 		procs:       procs,
 		rootRank:    rootRank,
+		engine:      core.NewEngine(0),
 		collectives: make(map[int]*collective),
 		mailboxes:   make(map[pairTag]chan message),
 		failCh:      make(chan struct{}),
 	}, nil
+}
+
+// Engine returns the world's incremental solver (shared across
+// sub-worlds), creating it on first use for worlds predating it.
+func (w *World) Engine() *core.Engine {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.engine == nil {
+		w.engine = core.NewEngine(0)
+	}
+	return w.engine
 }
 
 // globalRank maps a rank of this world to the top-level world's

@@ -110,6 +110,7 @@ func (w *World) subWorld(ranks []int, rootPos int) *World {
 		parentRanks: append([]int(nil), ranks...),
 		topRanks:    tops,
 		fc:          w.fc,
+		engine:      w.engine,
 		collectives: make(map[int]*collective),
 		mailboxes:   make(map[pairTag]chan message),
 		failCh:      make(chan struct{}),
