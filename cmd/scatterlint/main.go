@@ -6,6 +6,12 @@
 //   - standalone, loading packages itself via `go list -export`:
 //     scatterlint ./...
 //
+// Standalone mode covers test files (like go vet) and adds machine
+// output: -json (findings array), -sarif (SARIF 2.1.0 for
+// code-scanning upload), -baseline/-writebaseline (accepted-findings
+// file), and -ignoreaudit (report stale //scatterlint:ignore
+// directives that no longer suppress anything).
+//
 // Both modes honor //scatterlint:ignore <analyzer> <reason> directives
 // and exit nonzero when findings remain.
 package main
@@ -28,6 +34,11 @@ func main() {
 	log.SetPrefix("scatterlint: ")
 
 	jsonOut := flag.Bool("json", false, "emit JSON output")
+	sarifOut := flag.Bool("sarif", false, "emit SARIF 2.1.0 to stdout (standalone mode)")
+	baseline := flag.String("baseline", "", "drop findings accepted by this baseline file (standalone mode)")
+	writeBaseline := flag.String("writebaseline", "", "write current findings to this baseline file and exit (standalone mode)")
+	ignoreAudit := flag.Bool("ignoreaudit", false, "report stale scatterlint:ignore directives instead of findings (standalone mode)")
+	tests := flag.Bool("tests", true, "include _test.go files in standalone mode (matches go vet coverage)")
 	printflags := flag.Bool("flags", false, "print analyzer flags in JSON (for go vet)")
 	flag.Int("c", -1, "display offending line with this many lines of context (ignored)")
 	flag.Var(versionFlag{}, "V", "print version and exit (for go vet)")
@@ -35,7 +46,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, `scatterlint enforces the simulator's MPI and cost-model invariants.
 
 Usage:
-  scatterlint [packages]          # standalone, defaults to ./...
+  scatterlint [flags] [packages]  # standalone, defaults to ./...
   go vet -vettool=scatterlint ... # as a vet tool
   scatterlint help                # list analyzers
 
@@ -66,31 +77,104 @@ Usage:
 		os.Exit(code)
 	}
 
-	os.Exit(standalone(args, *jsonOut))
+	os.Exit(standalone(args, options{
+		jsonOut:       *jsonOut,
+		sarifOut:      *sarifOut,
+		baseline:      *baseline,
+		writeBaseline: *writeBaseline,
+		ignoreAudit:   *ignoreAudit,
+		tests:         *tests,
+	}))
+}
+
+type options struct {
+	jsonOut       bool
+	sarifOut      bool
+	baseline      string
+	writeBaseline string
+	ignoreAudit   bool
+	tests         bool
 }
 
 // standalone loads the requested packages (./... by default) and runs
-// the suite, printing findings to stderr. Exit code 0 means clean, 1
-// means findings.
-func standalone(patterns []string, jsonOut bool) int {
+// the suite. Exit code 0 means clean, 1 means findings (or stale
+// directives under -ignoreaudit).
+func standalone(patterns []string, opt options) int {
 	loader := lint.NewLoader(".")
+	loader.IncludeTests = opt.tests
 	pkgs, err := loader.Load(patterns...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	exit := 0
+
+	var findings []lint.Finding
+	var staleLines []string
 	for _, pkg := range pkgs {
-		diags, err := lint.RunAnalyzers(pkg, lint.All())
+		diags, audits, err := lint.RunAnalyzersAudit(pkg, lint.All())
 		if err != nil {
 			log.Fatal(err)
 		}
 		for _, d := range diags {
-			fmt.Fprintln(os.Stderr, lint.Format(pkg.Fset, d))
-			exit = 1
+			findings = append(findings, lint.NewFinding(pkg.Fset, d))
+		}
+		for _, a := range audits {
+			switch {
+			case len(a.Unknown) > 0:
+				staleLines = append(staleLines, fmt.Sprintf(
+					"%s: directive names unknown analyzer(s) %s: fix the name or delete the directive",
+					pkg.Fset.Position(a.Pos), strings.Join(a.Unknown, ", ")))
+			case !a.Used:
+				staleLines = append(staleLines, fmt.Sprintf(
+					"%s: stale scatterlint:ignore [%s] (%q): it suppresses nothing; delete it",
+					pkg.Fset.Position(a.Pos), strings.Join(a.Analyzers, ","), a.Reason))
+			}
 		}
 	}
-	_ = jsonOut // standalone mode prints plain text; JSON is for go vet
-	return exit
+
+	if opt.ignoreAudit {
+		for _, line := range staleLines {
+			fmt.Fprintln(os.Stderr, line)
+		}
+		if len(staleLines) > 0 {
+			return 1
+		}
+		fmt.Fprintln(os.Stderr, "scatterlint: all ignore directives suppress at least one finding")
+		return 0
+	}
+
+	if opt.writeBaseline != "" {
+		if err := lint.WriteBaselineFile(opt.writeBaseline, findings); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "scatterlint: wrote %d finding(s) to %s\n", len(findings), opt.writeBaseline)
+		return 0
+	}
+	if opt.baseline != "" {
+		b, err := lint.LoadBaseline(opt.baseline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		findings = b.Filter(findings)
+	}
+
+	switch {
+	case opt.sarifOut:
+		if err := lint.WriteSARIF(os.Stdout, lint.All(), findings); err != nil {
+			log.Fatal(err)
+		}
+	case opt.jsonOut:
+		if err := lint.WriteJSON(os.Stdout, findings); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		for _, f := range findings {
+			fmt.Fprintf(os.Stderr, "%s:%d:%d: %s (%s)\n", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+		}
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
 }
 
 // printFlagDefs describes the supported flags to go vet, which queries

@@ -124,6 +124,12 @@ func funcDisplayName(fn *types.Func) string {
 	return fn.Pkg().Name() + "." + fn.Name()
 }
 
+// exprText renders an expression for diagnostics and for comparing
+// syntactic access paths (pin targets against alias sources).
+func exprText(e ast.Expr) string {
+	return types.ExprString(e)
+}
+
 // errorType is the predeclared error interface type.
 var errorType = types.Universe.Lookup("error").Type()
 

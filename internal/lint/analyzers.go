@@ -2,7 +2,8 @@ package lint
 
 // All returns the full scatterlint analyzer suite, in the order
 // findings are most useful to read: protocol hazards first, model
-// preconditions after.
+// preconditions after, the dataflow analyzers (which assume the local
+// invariants above already hold) last.
 func All() []*Analyzer {
 	return []*Analyzer{
 		MPIErrCheck,
@@ -10,6 +11,9 @@ func All() []*Analyzer {
 		SimClock,
 		CostInvariant,
 		MutexChan,
+		PoolAlias,
+		DetOrder,
+		LedgerOrder,
 	}
 }
 

@@ -1,0 +1,439 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file is the first half of scatterlint's shared dataflow layer:
+// an intraprocedural control-flow graph over the parsed syntax, with
+// dominator and reachability queries. The CFG is deliberately
+// statement-grained — each basic block holds the ast.Nodes that
+// execute in it, in order — which is exactly the granularity the
+// dataflow analyzers (poolalias, detorder, ledgerorder) need:
+// "does this pin dominate that alias", "can an append precede this
+// reclaim on any path". Function literals are not inlined; each
+// FuncLit body gets its own CFG and cross-closure effects flow
+// through the package summary table (summary.go) instead.
+
+// A Block is one basic block: a maximal straight-line node sequence.
+type Block struct {
+	// Index is the block's position in CFG.Blocks.
+	Index int
+	// Nodes are the statements and control expressions executed in
+	// this block, in execution order. Loop headers carry their
+	// condition (ForStmt.Cond) or the RangeStmt itself.
+	Nodes []ast.Node
+	// Succs and Preds are the control-flow edges.
+	Succs []*Block
+	Preds []*Block
+}
+
+// A CFG is the control-flow graph of one function body.
+type CFG struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+
+	// dom[b][a] reports whether block a dominates block b.
+	dom [][]bool
+	// reach[a][b] reports whether a nonempty path leads from a to b.
+	reach [][]bool
+}
+
+// A ref addresses one node inside a CFG: the idx-th node of a block.
+// Pseudo-definitions that precede every node of the entry block
+// (parameters, named results) use idx -1.
+type ref struct {
+	block *Block
+	idx   int
+}
+
+// BuildCFG constructs the CFG of a function body. Panics never: any
+// statement the builder does not model (goto into the unknown) is
+// approximated by an edge to Exit, which only ever weakens the
+// analyzers toward silence, not false positives.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	g := &CFG{}
+	b := &cfgBuilder{g: g}
+	g.Entry = b.newBlock()
+	g.Exit = b.newBlock()
+	b.cur = g.Entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	b.edge(b.cur, g.Exit)
+	g.finalize()
+	return g
+}
+
+// Dominates reports whether every execution reaching b has already
+// executed a. Within a block, earlier nodes dominate later ones.
+func (g *CFG) Dominates(a, b ref) bool {
+	if a.block == b.block {
+		return a.idx < b.idx
+	}
+	return g.dom[b.block.Index][a.block.Index]
+}
+
+// CanPrecede reports whether some execution can pass through a before
+// reaching b — the weakest ordering fact, used where strict dominance
+// would reject legitimate conditional protocols (a checkpoint append
+// inside a loop before a conditional reclaim).
+func (g *CFG) CanPrecede(a, b ref) bool {
+	if a.block == b.block && a.idx < b.idx {
+		return true
+	}
+	return g.reach[a.block.Index][b.block.Index]
+}
+
+// RefAt locates the innermost CFG node containing pos.
+func (g *CFG) RefAt(pos token.Pos) (ref, bool) {
+	var best ref
+	var bestSize token.Pos
+	found := false
+	for _, blk := range g.Blocks {
+		for i, n := range blk.Nodes {
+			if n.Pos() <= pos && pos < n.End() {
+				size := n.End() - n.Pos()
+				if !found || size < bestSize {
+					best, bestSize, found = ref{blk, i}, size, true
+				}
+			}
+		}
+	}
+	return best, found
+}
+
+// cfgBuilder carries the under-construction graph and the break /
+// continue / fallthrough targets of the enclosing statements.
+type cfgBuilder struct {
+	g   *CFG
+	cur *Block
+	// ctx is a stack of enclosing breakable/continuable statements.
+	ctx []loopCtx
+	// fallthroughs is a stack of fallthrough targets, one per
+	// enclosing switch case (nil for the last case).
+	fallthroughs []*Block
+}
+
+// loopCtx is one enclosing loop, switch or select: where break and
+// continue (nil for non-loops) jump to.
+type loopCtx struct {
+	label string
+	brk   *Block
+	cont  *Block
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+func (b *cfgBuilder) append(n ast.Node) {
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+// stmt translates one statement. label is the enclosing label name, if
+// the statement was wrapped in a LabeledStmt.
+func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
+	switch v := s.(type) {
+	case *ast.LabeledStmt:
+		b.stmt(v.Stmt, v.Label.Name)
+
+	case *ast.BlockStmt:
+		b.stmtList(v.List)
+
+	case *ast.IfStmt:
+		if v.Init != nil {
+			b.append(v.Init)
+		}
+		b.append(v.Cond)
+		cond := b.cur
+		then := b.newBlock()
+		join := b.newBlock()
+		b.edge(cond, then)
+		b.cur = then
+		b.stmtList(v.Body.List)
+		b.edge(b.cur, join)
+		if v.Else != nil {
+			els := b.newBlock()
+			b.edge(cond, els)
+			b.cur = els
+			b.stmt(v.Else, "")
+			b.edge(b.cur, join)
+		} else {
+			b.edge(cond, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		if v.Init != nil {
+			b.append(v.Init)
+		}
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		if v.Cond != nil {
+			head.Nodes = append(head.Nodes, v.Cond)
+		}
+		body := b.newBlock()
+		exit := b.newBlock()
+		b.edge(head, body)
+		if v.Cond != nil {
+			b.edge(head, exit)
+		}
+		// continue runs the post statement (if any) before the header.
+		cont := head
+		if v.Post != nil {
+			cont = b.newBlock()
+			cont.Nodes = append(cont.Nodes, v.Post)
+			b.edge(cont, head)
+		}
+		b.ctx = append(b.ctx, loopCtx{label: label, brk: exit, cont: cont})
+		b.cur = body
+		b.stmtList(v.Body.List)
+		b.edge(b.cur, cont)
+		b.ctx = b.ctx[:len(b.ctx)-1]
+		b.cur = exit
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		// The RangeStmt node itself carries the ranged expression and
+		// the key/value definitions for the header.
+		head.Nodes = append(head.Nodes, v)
+		body := b.newBlock()
+		exit := b.newBlock()
+		b.edge(head, body)
+		b.edge(head, exit)
+		b.ctx = append(b.ctx, loopCtx{label: label, brk: exit, cont: head})
+		b.cur = body
+		b.stmtList(v.Body.List)
+		b.edge(b.cur, head)
+		b.ctx = b.ctx[:len(b.ctx)-1]
+		b.cur = exit
+
+	case *ast.SwitchStmt:
+		if v.Init != nil {
+			b.append(v.Init)
+		}
+		if v.Tag != nil {
+			b.append(v.Tag)
+		}
+		b.cases(v.Body.List, label, nil)
+
+	case *ast.TypeSwitchStmt:
+		if v.Init != nil {
+			b.append(v.Init)
+		}
+		b.append(v.Assign)
+		b.cases(v.Body.List, label, nil)
+
+	case *ast.SelectStmt:
+		b.cases(v.Body.List, label, func(c ast.Stmt) ast.Stmt {
+			return c.(*ast.CommClause).Comm
+		})
+
+	case *ast.ReturnStmt:
+		b.append(v)
+		b.edge(b.cur, b.g.Exit)
+		b.cur = b.newBlock() // unreachable continuation
+
+	case *ast.BranchStmt:
+		b.append(v)
+		switch v.Tok {
+		case token.BREAK:
+			if t := b.target(v.Label, false); t != nil {
+				b.edge(b.cur, t)
+			} else {
+				b.edge(b.cur, b.g.Exit)
+			}
+		case token.CONTINUE:
+			if t := b.target(v.Label, true); t != nil {
+				b.edge(b.cur, t)
+			} else {
+				b.edge(b.cur, b.g.Exit)
+			}
+		case token.FALLTHROUGH:
+			if n := len(b.fallthroughs); n > 0 && b.fallthroughs[n-1] != nil {
+				b.edge(b.cur, b.fallthroughs[n-1])
+			}
+		case token.GOTO:
+			// Approximated: goto is not used in this repository.
+			b.edge(b.cur, b.g.Exit)
+		}
+		b.cur = b.newBlock() // unreachable continuation
+
+	default:
+		// Assign, Decl, Expr, Go, Defer, Send, IncDec, Empty: straight-line.
+		b.append(s)
+	}
+}
+
+// cases translates the clause list of a switch, type switch or select.
+// comm extracts the clause's communication statement for selects (nil
+// for switches, whose clauses carry case expressions instead).
+func (b *cfgBuilder) cases(clauses []ast.Stmt, label string, comm func(ast.Stmt) ast.Stmt) {
+	entry := b.cur
+	join := b.newBlock()
+	hasDefault := false
+	blocks := make([]*Block, len(clauses))
+	for i, c := range clauses {
+		blocks[i] = b.newBlock()
+		b.edge(entry, blocks[i])
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			if cc.List == nil {
+				hasDefault = true
+			}
+		case *ast.CommClause:
+			if cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+	}
+	if !hasDefault && comm == nil {
+		// A switch without default can fall straight through.
+		b.edge(entry, join)
+	}
+	b.ctx = append(b.ctx, loopCtx{label: label, brk: join})
+	for i, c := range clauses {
+		b.cur = blocks[i]
+		var body []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range cc.List {
+				b.append(e)
+			}
+			body = cc.Body
+		case *ast.CommClause:
+			if comm != nil && comm(c) != nil {
+				b.stmt(comm(c), "")
+			}
+			body = cc.Body
+		}
+		next := (*Block)(nil)
+		if i+1 < len(blocks) {
+			next = blocks[i+1]
+		}
+		b.fallthroughs = append(b.fallthroughs, next)
+		b.stmtList(body)
+		b.fallthroughs = b.fallthroughs[:len(b.fallthroughs)-1]
+		b.edge(b.cur, join)
+	}
+	b.ctx = b.ctx[:len(b.ctx)-1]
+	b.cur = join
+}
+
+// target resolves a break (wantCont=false) or continue (wantCont=true)
+// to its jump block, honoring labels.
+func (b *cfgBuilder) target(label *ast.Ident, wantCont bool) *Block {
+	for i := len(b.ctx) - 1; i >= 0; i-- {
+		c := b.ctx[i]
+		if label != nil && c.label != label.Name {
+			continue
+		}
+		if wantCont {
+			if c.cont != nil {
+				return c.cont
+			}
+			if label != nil {
+				return nil
+			}
+			continue // continue skips switch/select contexts
+		}
+		return c.brk
+	}
+	return nil
+}
+
+// finalize fills predecessor edges and computes the dominator and
+// reachability relations.
+func (g *CFG) finalize() {
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Succs {
+			s.Preds = append(s.Preds, blk)
+		}
+	}
+	n := len(g.Blocks)
+
+	// Iterative dominators: dom[b] = {b} ∪ ⋂ dom[preds(b)]. Blocks
+	// unreachable from Entry keep the full set, which makes dominance
+	// queries on dead code vacuously true — the conservative direction
+	// for "a required action dominates this site" checks.
+	all := make([]bool, n)
+	for i := range all {
+		all[i] = true
+	}
+	dom := make([][]bool, n)
+	for i := range dom {
+		if i == g.Entry.Index {
+			dom[i] = make([]bool, n)
+			dom[i][i] = true
+		} else {
+			dom[i] = append([]bool(nil), all...)
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, blk := range g.Blocks {
+			if blk == g.Entry {
+				continue
+			}
+			nd := append([]bool(nil), all...)
+			reachablePred := false
+			for _, p := range blk.Preds {
+				reachablePred = true
+				for i := range nd {
+					nd[i] = nd[i] && dom[p.Index][i]
+				}
+			}
+			if !reachablePred {
+				copy(nd, all)
+			}
+			nd[blk.Index] = true
+			for i := range nd {
+				if nd[i] != dom[blk.Index][i] {
+					dom[blk.Index] = nd
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	g.dom = dom
+
+	// Forward reachability over nonempty paths, by DFS from each block.
+	reach := make([][]bool, n)
+	for i, blk := range g.Blocks {
+		r := make([]bool, n)
+		stack := append([]*Block(nil), blk.Succs...)
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if r[x.Index] {
+				continue
+			}
+			r[x.Index] = true
+			stack = append(stack, x.Succs...)
+		}
+		reach[i] = r
+	}
+	g.reach = reach
+}

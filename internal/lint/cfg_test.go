@@ -1,0 +1,225 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// parseFunc type-checks src (a complete import-free file) and returns
+// the named function with the file set and type info, for unit-testing
+// the dataflow layer without the loader.
+func parseFunc(t *testing.T, src, name string) (*token.FileSet, *types.Info, *ast.FuncDecl) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "test.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{}
+	if _, err := conf.Check("p", fset, []*ast.File{f}, info); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fset, info, fd
+		}
+	}
+	t.Fatalf("function %s not found", name)
+	return nil, nil, nil
+}
+
+// lineOf returns the 1-based line of the first occurrence of marker.
+func lineOf(t *testing.T, src, marker string) int {
+	t.Helper()
+	idx := strings.Index(src, marker)
+	if idx < 0 {
+		t.Fatalf("marker %q not in source", marker)
+	}
+	return 1 + strings.Count(src[:idx], "\n")
+}
+
+// refOnLine finds the CFG node starting on the given line.
+func refOnLine(t *testing.T, g *CFG, fset *token.FileSet, line int) ref {
+	t.Helper()
+	for _, blk := range g.Blocks {
+		for i, n := range blk.Nodes {
+			if fset.Position(n.Pos()).Line == line {
+				return ref{blk, i}
+			}
+		}
+	}
+	t.Fatalf("no CFG node on line %d", line)
+	return ref{}
+}
+
+func TestCFGBranchDominance(t *testing.T) {
+	const src = `package p
+
+func f(c bool) int {
+	x := 0
+	if c {
+		x = 1
+	} else {
+		x = 2
+	}
+	y := x
+	return y
+}
+`
+	fset, _, fd := parseFunc(t, src, "f")
+	g := BuildCFG(fd.Body)
+	init := refOnLine(t, g, fset, lineOf(t, src, "x := 0"))
+	then := refOnLine(t, g, fset, lineOf(t, src, "x = 1"))
+	els := refOnLine(t, g, fset, lineOf(t, src, "x = 2"))
+	use := refOnLine(t, g, fset, lineOf(t, src, "y := x"))
+
+	if !g.Dominates(init, use) {
+		t.Error("x := 0 must dominate y := x")
+	}
+	if g.Dominates(then, use) {
+		t.Error("a branch assignment must not dominate the join")
+	}
+	if !g.CanPrecede(then, use) || !g.CanPrecede(els, use) {
+		t.Error("both branch assignments can precede the join")
+	}
+	if g.CanPrecede(then, els) || g.CanPrecede(els, then) {
+		t.Error("exclusive branches must not precede each other")
+	}
+	if g.CanPrecede(use, init) {
+		t.Error("no path leads from the join back to the entry")
+	}
+}
+
+func TestCFGLoopReachability(t *testing.T) {
+	const src = `package p
+
+func g(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}
+`
+	fset, _, fd := parseFunc(t, src, "g")
+	g := BuildCFG(fd.Body)
+	body := refOnLine(t, g, fset, lineOf(t, src, "s += i"))
+	ret := refOnLine(t, g, fset, lineOf(t, src, "return s"))
+
+	if g.Dominates(body, ret) {
+		t.Error("a conditional loop body must not dominate the loop exit")
+	}
+	if !g.CanPrecede(body, ret) {
+		t.Error("the loop body can precede the statement after the loop")
+	}
+	if !g.CanPrecede(body, body) {
+		t.Error("a loop body reaches itself through the back edge")
+	}
+	if g.CanPrecede(ret, body) {
+		t.Error("nothing after the loop reaches back into it")
+	}
+}
+
+func TestReachDefs(t *testing.T) {
+	const src = `package p
+
+func f(c bool) int {
+	x := 0
+	if c {
+		x = 1
+	}
+	y := x
+	x = 3
+	z := x
+	return y + z
+}
+`
+	fset, info, fd := parseFunc(t, src, "f")
+	g := BuildCFG(fd.Body)
+	rd := newReachDefs(g, info, fd.Recv, fd.Type)
+
+	var xObj *types.Var
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == "x" && xObj == nil {
+			xObj, _ = info.Defs[id].(*types.Var)
+		}
+		return true
+	})
+	if xObj == nil {
+		t.Fatal("no definition of x found")
+	}
+
+	rhsSet := func(sites []int) map[string]bool {
+		out := make(map[string]bool)
+		for _, s := range sites {
+			if rhs := rd.sites[s].rhs; rhs != nil {
+				out[exprText(rhs)] = true
+			}
+		}
+		return out
+	}
+
+	atY := refOnLine(t, g, fset, lineOf(t, src, "y := x"))
+	got := rhsSet(rd.defsReaching(xObj, atY))
+	if len(got) != 2 || !got["0"] || !got["1"] {
+		t.Errorf("defs of x at y := x = %v, want {0, 1}", got)
+	}
+
+	atZ := refOnLine(t, g, fset, lineOf(t, src, "z := x"))
+	got = rhsSet(rd.defsReaching(xObj, atZ))
+	if len(got) != 1 || !got["3"] {
+		t.Errorf("defs of x at z := x = %v, want {3}: the redefinition kills earlier defs", got)
+	}
+}
+
+func TestReachDefsParams(t *testing.T) {
+	const src = `package p
+
+func h(a int) int {
+	b := a
+	if a > 0 {
+		a = 2
+	}
+	c := a + b
+	return c
+}
+`
+	fset, info, fd := parseFunc(t, src, "h")
+	g := BuildCFG(fd.Body)
+	rd := newReachDefs(g, info, fd.Recv, fd.Type)
+
+	var aObj *types.Var
+	for _, f := range fd.Type.Params.List {
+		for _, name := range f.Names {
+			if name.Name == "a" {
+				aObj, _ = info.Defs[name].(*types.Var)
+			}
+		}
+	}
+	if aObj == nil {
+		t.Fatal("no parameter a")
+	}
+
+	atB := refOnLine(t, g, fset, lineOf(t, src, "b := a"))
+	sites := rd.defsReaching(aObj, atB)
+	if len(sites) != 1 || rd.sites[sites[0]].rhs != nil || rd.sites[sites[0]].at.idx != -1 {
+		t.Errorf("at b := a only the parameter pseudo-def should reach, got %d sites", len(sites))
+	}
+
+	atC := refOnLine(t, g, fset, lineOf(t, src, "c := a + b"))
+	if n := len(rd.defsReaching(aObj, atC)); n != 2 {
+		t.Errorf("at c := a + b both the parameter and the branch assignment reach, got %d", n)
+	}
+}

@@ -1,0 +1,266 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// This file is the second half of the dataflow layer: reaching
+// definitions over the CFG of one function. Each definition site of a
+// local variable (assignment, var declaration, range binding,
+// parameter) becomes a numbered site; a standard gen/kill fixpoint
+// then answers "which definitions of v can reach this node". The
+// taint analyses (poolalias) are built on top: a variable is pooled at
+// a use exactly when some pooled definition reaches it.
+
+// A defSite is one definition of a variable.
+type defSite struct {
+	// obj is the defined variable.
+	obj *types.Var
+	// at locates the defining node; parameters use the entry pseudo
+	// position (idx -1).
+	at ref
+	// rhs is the defining expression, nil when there is none (zero
+	// declarations, range bindings, parameters). For tuple
+	// assignments rhs is the shared multi-value expression and
+	// tupleIdx selects the result.
+	rhs      ast.Expr
+	tupleIdx int
+}
+
+// ReachDefs holds the reaching-definitions solution for one function.
+type ReachDefs struct {
+	g     *CFG
+	info  *types.Info
+	sites []defSite
+	// byObj indexes sites by defined variable.
+	byObj map[*types.Var][]int
+	// in[b] is the set of site indices reaching the top of block b.
+	in [][]bool
+	// defsByBlock lists (node index, site index) pairs per block, in
+	// execution order. Parameter pseudo-defs use node index -1.
+	defsByBlock map[*Block][]blockDef
+}
+
+type blockDef struct {
+	nodeIdx int
+	site    int
+}
+
+// newReachDefs solves reaching definitions for a function with the
+// given CFG, receiver and type. recv and ftype seed the parameter
+// pseudo-definitions; either may be nil (function literals have no
+// receiver).
+func newReachDefs(g *CFG, info *types.Info, recv *ast.FieldList, ftype *ast.FuncType) *ReachDefs {
+	rd := &ReachDefs{
+		g:           g,
+		info:        info,
+		byObj:       make(map[*types.Var][]int),
+		defsByBlock: make(map[*Block][]blockDef),
+	}
+
+	addSite := func(s defSite) {
+		idx := len(rd.sites)
+		rd.sites = append(rd.sites, s)
+		rd.byObj[s.obj] = append(rd.byObj[s.obj], idx)
+		rd.defsByBlock[s.at.block] = append(rd.defsByBlock[s.at.block], blockDef{s.at.idx, idx})
+	}
+	addIdent := func(id *ast.Ident, at ref, rhs ast.Expr, tupleIdx int) {
+		if id == nil || id.Name == "_" {
+			return
+		}
+		obj, _ := info.ObjectOf(id).(*types.Var)
+		if obj == nil {
+			return
+		}
+		addSite(defSite{obj: obj, at: at, rhs: rhs, tupleIdx: tupleIdx})
+	}
+
+	// Parameters, receivers and named results define at entry.
+	entry := ref{g.Entry, -1}
+	for _, fl := range []*ast.FieldList{recv, paramsOf(ftype), resultsOf(ftype)} {
+		if fl == nil {
+			continue
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				addIdent(name, entry, nil, 0)
+			}
+		}
+	}
+
+	// Definitions inside blocks.
+	for _, blk := range g.Blocks {
+		for i, n := range blk.Nodes {
+			at := ref{blk, i}
+			switch v := n.(type) {
+			case *ast.AssignStmt:
+				rd.addAssign(v, at, addIdent)
+			case *ast.DeclStmt:
+				gd, ok := v.Decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					rd.addValueSpec(vs, at, addIdent)
+				}
+			case *ast.RangeStmt:
+				addIdent(identOf(v.Key), at, nil, 0)
+				addIdent(identOf(v.Value), at, nil, 0)
+			}
+		}
+	}
+
+	rd.solve()
+	return rd
+}
+
+func paramsOf(ft *ast.FuncType) *ast.FieldList {
+	if ft == nil {
+		return nil
+	}
+	return ft.Params
+}
+
+func resultsOf(ft *ast.FuncType) *ast.FieldList {
+	if ft == nil {
+		return nil
+	}
+	return ft.Results
+}
+
+func identOf(e ast.Expr) *ast.Ident {
+	id, _ := e.(*ast.Ident)
+	return id
+}
+
+func (rd *ReachDefs) addAssign(v *ast.AssignStmt, at ref, add func(*ast.Ident, ref, ast.Expr, int)) {
+	if len(v.Rhs) == len(v.Lhs) {
+		for i, lhs := range v.Lhs {
+			add(identOf(lhs), at, v.Rhs[i], 0)
+		}
+		return
+	}
+	// Tuple assignment: a, b := f().
+	for i, lhs := range v.Lhs {
+		add(identOf(lhs), at, v.Rhs[0], i)
+	}
+}
+
+func (rd *ReachDefs) addValueSpec(vs *ast.ValueSpec, at ref, add func(*ast.Ident, ref, ast.Expr, int)) {
+	switch {
+	case len(vs.Values) == len(vs.Names):
+		for i, name := range vs.Names {
+			add(name, at, vs.Values[i], 0)
+		}
+	case len(vs.Values) == 1:
+		for i, name := range vs.Names {
+			add(name, at, vs.Values[0], i)
+		}
+	default:
+		for _, name := range vs.Names {
+			add(name, at, nil, 0)
+		}
+	}
+}
+
+// solve runs the gen/kill fixpoint.
+func (rd *ReachDefs) solve() {
+	n := len(rd.g.Blocks)
+	ns := len(rd.sites)
+	gen := make([][]bool, n)
+	kill := make([][]bool, n)
+	for i := range gen {
+		gen[i] = make([]bool, ns)
+		kill[i] = make([]bool, ns)
+	}
+	for blk, defs := range rd.defsByBlock {
+		i := blk.Index
+		for _, d := range defs {
+			obj := rd.sites[d.site].obj
+			// A later def of the same variable kills every earlier one.
+			for _, other := range rd.byObj[obj] {
+				gen[i][other] = false
+				kill[i][other] = true
+			}
+			gen[i][d.site] = true
+			kill[i][d.site] = false
+		}
+	}
+
+	in := make([][]bool, n)
+	out := make([][]bool, n)
+	for i := range in {
+		in[i] = make([]bool, ns)
+		out[i] = make([]bool, ns)
+		copy(out[i], gen[i])
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, blk := range rd.g.Blocks {
+			i := blk.Index
+			for _, p := range blk.Preds {
+				for s := 0; s < ns; s++ {
+					if out[p.Index][s] && !in[i][s] {
+						in[i][s] = true
+						changed = true
+					}
+				}
+			}
+			for s := 0; s < ns; s++ {
+				nv := gen[i][s] || (in[i][s] && !kill[i][s])
+				if nv != out[i][s] {
+					out[i][s] = nv
+					changed = true
+				}
+			}
+		}
+	}
+	rd.in = in
+}
+
+// defsReaching returns the indices of obj's definitions that can reach
+// the node at `at`. Definitions earlier in the same block shadow the
+// block-entry set, in order.
+func (rd *ReachDefs) defsReaching(obj *types.Var, at ref) []int {
+	live := make(map[int]bool)
+	for _, s := range rd.byObj[obj] {
+		if rd.in[at.block.Index][s] {
+			live[s] = true
+		}
+	}
+	for _, d := range rd.defsByBlock[at.block] {
+		if d.nodeIdx >= at.idx && !(d.nodeIdx == -1) {
+			continue
+		}
+		if rd.sites[d.site].obj != obj {
+			continue
+		}
+		// This def executes before `at` in the block: it replaces all
+		// earlier defs of obj.
+		for k := range live {
+			delete(live, k)
+		}
+		live[d.site] = true
+	}
+	out := make([]int, 0, len(live))
+	for _, s := range rd.byObj[obj] {
+		if live[s] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// refOf finds the innermost CFG node containing the expression, falling
+// back to the entry pseudo-ref so lookups never fail catastrophically.
+func (rd *ReachDefs) refOf(n ast.Node) ref {
+	if r, ok := rd.g.RefAt(n.Pos()); ok {
+		return r
+	}
+	return ref{rd.g.Entry, -1}
+}

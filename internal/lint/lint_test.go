@@ -69,6 +69,95 @@ func TestMalformedDirective(t *testing.T) {
 	}
 }
 
+func TestPoolAlias(t *testing.T) {
+	runFixture(t, PoolAlias, fixturePath("poolalias"), "repro/internal/lint/testdata/poolalias")
+}
+
+func TestDetOrder(t *testing.T) {
+	// Checked under a chaos-scoped path so the map-order and
+	// arrival-order rules apply; the wants describe that run.
+	runFixture(t, DetOrder, fixturePath("detorder"), "repro/internal/chaos/fixture")
+}
+
+func TestDetOrderOutOfScope(t *testing.T) {
+	// The same fixture under a neutral path is out of ordering scope
+	// (and has no rank functions), so the analyzer must stay silent.
+	pkg, err := sharedLoader.LoadDir(fixturePath("detorder"), "repro/internal/lint/testdata/detorder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := RunAnalyzers(pkg, []*Analyzer{DetOrder})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("diagnostic outside the ordering-scope packages: %s", Format(pkg.Fset, d))
+	}
+}
+
+func TestDetOrderWallClock(t *testing.T) {
+	runFixture(t, DetOrder, fixturePath("detorderwall"), "repro/internal/lint/testdata/detorderwall")
+}
+
+func TestLedgerOrder(t *testing.T) {
+	runFixture(t, LedgerOrder, fixturePath("ledgerorder"), "repro/internal/lint/testdata/ledgerorder")
+}
+
+func TestAnchoredDirective(t *testing.T) {
+	runFixture(t, CostInvariant, fixturePath("anchored"), "repro/internal/lint/testdata/anchored")
+}
+
+func TestDirectiveAudit(t *testing.T) {
+	pkg, err := sharedLoader.LoadDir(fixturePath("staledir"), "repro/internal/lint/testdata/staledir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, audits, err := RunAnalyzersAudit(pkg, []*Analyzer{CostInvariant})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic: %s", Format(pkg.Fset, d))
+	}
+	if len(audits) != 3 {
+		t.Fatalf("got %d directive audits, want 3", len(audits))
+	}
+	if !audits[0].Used {
+		t.Error("the first directive suppresses a finding and must audit as used")
+	}
+	if audits[1].Used {
+		t.Error("the second directive suppresses nothing and must audit as stale")
+	}
+	if len(audits[1].Unknown) != 0 {
+		t.Errorf("the second directive names a real analyzer, got unknown %v", audits[1].Unknown)
+	}
+	if len(audits[2].Unknown) != 1 || audits[2].Unknown[0] != "costinvariantt" {
+		t.Errorf("the third directive's typo must be reported unknown, got %v", audits[2].Unknown)
+	}
+}
+
+func TestNewAnalyzersCleanOnRealPackages(t *testing.T) {
+	// The live tree is the negative fixture: core's pooled plan rows,
+	// fault's ledger and mpi's collectives are the canonical clean
+	// shapes each analyzer must accept without suppressions.
+	pkgs, err := sharedLoader.Load("repro/internal/core", "repro/internal/fault", "repro/internal/mpi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 3 {
+		t.Fatalf("loaded %d packages, want 3", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		diags, err := RunAnalyzers(pkg, []*Analyzer{PoolAlias, DetOrder, LedgerOrder})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s: %s", pkg.Path, Format(pkg.Fset, d))
+		}
+	}
+}
+
 func TestLoaderLoadsModulePackages(t *testing.T) {
 	pkgs, err := sharedLoader.Load("repro/internal/cost")
 	if err != nil {
@@ -84,8 +173,8 @@ func TestLoaderLoadsModulePackages(t *testing.T) {
 
 func TestAllAnalyzersRegistered(t *testing.T) {
 	all := All()
-	if len(all) != 5 {
-		t.Fatalf("All() returned %d analyzers, want 5", len(all))
+	if len(all) != 8 {
+		t.Fatalf("All() returned %d analyzers, want 8", len(all))
 	}
 	for _, a := range all {
 		if ByName(a.Name) != a {

@@ -34,13 +34,15 @@ type Package struct {
 // listedPackage is the subset of `go list -json` output the loader
 // consumes.
 type listedPackage struct {
-	ImportPath string
-	Dir        string
-	Export     string
-	GoFiles    []string
-	Module     *struct{ Path string }
-	Standard   bool
-	DepOnly    bool
+	ImportPath   string
+	Dir          string
+	Export       string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Module       *struct{ Path string }
+	Standard     bool
+	DepOnly      bool
 }
 
 // A Loader type-checks packages of the enclosing module using export
@@ -51,6 +53,13 @@ type Loader struct {
 	// Dir is the directory the `go list` queries run in; it must be
 	// inside the module. Empty means the current directory.
 	Dir string
+
+	// IncludeTests makes Load type-check _test.go files too: in-package
+	// test files join their package's unit, external test packages
+	// (package foo_test) load as separate units suffixed " [xtest]".
+	// This matches `go vet` coverage, which standalone runs and the
+	// suppression audit need — most ignore directives live in tests.
+	IncludeTests bool
 
 	// exports maps package path -> export data file, for every
 	// dependency seen so far.
@@ -82,7 +91,7 @@ func NewLoader(dir string) *Loader {
 func (l *Loader) goList(patterns ...string) ([]*listedPackage, error) {
 	args := append([]string{
 		"list", "-export", "-deps",
-		"-json=ImportPath,Dir,Export,GoFiles,Module,Standard,DepOnly",
+		"-json=ImportPath,Dir,Export,GoFiles,TestGoFiles,XTestGoFiles,Module,Standard,DepOnly",
 	}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = l.Dir
@@ -126,11 +135,22 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 		if lp.Standard || lp.DepOnly || lp.Module == nil || len(lp.GoFiles) == 0 {
 			continue
 		}
-		pkg, err := l.checkDir(lp.Dir, lp.ImportPath, lp.GoFiles)
+		files := lp.GoFiles
+		if l.IncludeTests {
+			files = append(append([]string(nil), files...), lp.TestGoFiles...)
+		}
+		pkg, err := l.checkDir(lp.Dir, lp.ImportPath, files)
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, pkg)
+		if l.IncludeTests && len(lp.XTestGoFiles) > 0 {
+			xpkg, err := l.checkDir(lp.Dir, lp.ImportPath+" [xtest]", lp.XTestGoFiles)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, xpkg)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
 	return out, nil

@@ -1,0 +1,30 @@
+// Package fixture exercises directive anchoring: a directive above a
+// multi-line value spec covers the whole spec, so gofmt reflowing a
+// literal cannot silently un-suppress a finding on its later lines.
+package fixture
+
+import "repro/internal/cost"
+
+// The negative field sits two lines below the directive; line-pair
+// matching alone would miss it.
+//
+//scatterlint:ignore costinvariant deliberate negative to exercise anchoring
+var pinned = cost.Affine{
+	Fixed:   1,
+	PerItem: -2,
+}
+
+// An uncovered literal still reports, wherever the field lands.
+var reported = cost.Affine{
+	Fixed:   1,
+	PerItem: -3, // want "Affine.PerItem is negative"
+}
+
+// A trailing directive anchors to the element starting on its own
+// line, covering the element's later lines too.
+var trailing = []cost.Affine{
+	{ //scatterlint:ignore costinvariant deliberate negative to exercise trailing anchors
+		Fixed:   1,
+		PerItem: -4,
+	},
+}

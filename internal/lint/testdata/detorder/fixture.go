@@ -1,0 +1,110 @@
+// Package fixture exercises the detorder analyzer's ordering checks.
+// It is checked under the import path repro/internal/chaos/fixture so
+// the map-order and arrival-order rules are in scope (the wall-clock
+// rule is exercised by the detorderwall fixture, which loads under a
+// non-simulated path).
+package fixture
+
+import (
+	"fmt"
+	"sort"
+)
+
+// mapOrderAppend lets map-iteration order become slice order: the
+// output differs run to run.
+func mapOrderAppend(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k) // want "accumulates over an unordered map range"
+	}
+	return out
+}
+
+// sortedHolders collects then sorts — the Ledger.Holders idiom — so
+// the map order never reaches the caller.
+func sortedHolders(m map[int]bool) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// sum folds commutatively; no order dependence to flag.
+func sum(m map[int]float64) float64 {
+	t := 0.0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+// indexed writes to key-addressed slots: deterministic regardless of
+// iteration order.
+func indexed(m map[int]int, n int) []int {
+	out := make([]int, n)
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// localAccum appends only to a loop-local scratch slice, which dies
+// before the next iteration: order cannot leak out.
+func localAccum(m map[int][]int) int {
+	total := 0
+	for _, vs := range m {
+		var tmp []int
+		for _, v := range vs {
+			tmp = append(tmp, v)
+		}
+		total += len(tmp)
+	}
+	return total
+}
+
+// mapOrderSend exposes iteration order to a receiver.
+func mapOrderSend(m map[int]int, ch chan int) {
+	for k := range m {
+		ch <- k // want "channel send inside an unordered map range"
+	}
+}
+
+// mapOrderPrint emits report lines in iteration order.
+func mapOrderPrint(m map[int]int) {
+	for k := range m {
+		fmt.Println(k) // want "output emitted inside an unordered map range"
+	}
+}
+
+// collectArrival gathers goroutine results in channel-arrival order:
+// the slice order is scheduler-dependent.
+func collectArrival(n int) []int {
+	ch := make(chan int)
+	for i := 0; i < n; i++ {
+		go func(i int) { ch <- i * i }(i)
+	}
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, <-ch) // want "appended in channel-arrival order"
+	}
+	return out
+}
+
+// collectIndexed is the World.Run shape: results land in rank-indexed
+// slots and the channel only counts completions.
+func collectIndexed(n int) []int {
+	ch := make(chan struct{})
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			out[i] = i * i
+			ch <- struct{}{}
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-ch
+	}
+	return out
+}

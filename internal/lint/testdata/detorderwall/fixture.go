@@ -1,0 +1,35 @@
+// Package fixture exercises detorder's wall-clock rule: a rank
+// function — one taking an mpi.Comm — must use the virtual clock, not
+// real time, or makespans differ run to run. The fixture loads under a
+// non-simulated import path, where simclock is silent and detorder's
+// interprocedural rule is the only guard.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/mpi"
+)
+
+// stamp is an innocent-looking helper that reaches the wall clock; the
+// summary table carries that fact to rank-function call sites.
+func stamp() float64 { return float64(time.Now().UnixNano()) }
+
+// rankBody runs under the simulated clock, so both the direct read and
+// the helper call are flagged.
+func rankBody(c *mpi.Comm) float64 {
+	t := time.Now() // want "time.Now on a rank-function path"
+	_ = t
+	if rand.Float64() < 0.5 { // want "rand.Float64 on a rank-function path"
+		return 0
+	}
+	return stamp() // want "call to stamp reaches the wall clock"
+}
+
+// offRank takes no Comm: real time is fine outside rank functions.
+func offRank() time.Time { return time.Now() }
+
+// clocked reads the virtual clock — the sanctioned source of time on a
+// rank path.
+func clocked(c *mpi.Comm) float64 { return c.Clock() }

@@ -1,0 +1,59 @@
+// Package fixture exercises the ledgerorder analyzer: every Reclaim
+// needs a checkpoint append (Deliver) on some preceding path, and the
+// ledger v1 codec strings must stay inside Encode/DecodeLedger.
+package fixture
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+)
+
+// reclaimFirst redistributes data the ledger never recorded: a
+// failover successor replaying this ledger would double-deliver.
+func reclaimFirst(l *fault.Ledger, at float64) []fault.Range {
+	return l.Reclaim(3, at) // want "Reclaim with no checkpoint append"
+}
+
+// deliverThenReclaim is the protocol order.
+func deliverThenReclaim(l *fault.Ledger, r fault.Range, at float64) []fault.Range {
+	l.Deliver(1, r, at)
+	return l.Reclaim(1, at)
+}
+
+// closureDeliver appends through a local closure, the ftscatter shape;
+// the summary table resolves the call to the Deliver inside.
+func closureDeliver(l *fault.Ledger, rs []fault.Range, at float64) []fault.Range {
+	deliver := func(rank int, rg fault.Range) {
+		l.Deliver(rank, rg, at)
+	}
+	for i, rg := range rs {
+		deliver(i, rg)
+	}
+	return l.Reclaim(0, at)
+}
+
+// conditionalAppend appends on only one branch: reachability (not
+// dominance) is the protocol's ordering relation, so this is clean.
+func conditionalAppend(l *fault.Ledger, ok bool, r fault.Range, at float64) []fault.Range {
+	if ok {
+		l.Deliver(2, r, at)
+	}
+	return l.Reclaim(2, at)
+}
+
+// handRolledHeader forks the codec: when the protocol version bumps,
+// this string silently diverges from what DecodeLedger accepts.
+func handRolledHeader() string {
+	return fmt.Sprintf("ledger v1\n%d\n", 7) // want "hand-rolled ledger codec string"
+}
+
+// handRolledReplica forks the replica-line format the same way.
+func handRolledReplica() string {
+	return fmt.Sprintf("replica %d %d\n", 1, 2) // want "hand-rolled ledger codec string"
+}
+
+// roundTrip serializes through the codec: the only sanctioned path.
+func roundTrip(l *fault.Ledger) (*fault.Ledger, error) {
+	return fault.DecodeLedger(l.Encode())
+}

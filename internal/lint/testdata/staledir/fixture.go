@@ -1,0 +1,21 @@
+// Package fixture exercises the suppression audit: one directive that
+// suppresses a finding, one that suppresses nothing, and one naming an
+// analyzer that does not exist.
+package fixture
+
+import "repro/internal/cost"
+
+// Used: it excuses the negative literal below.
+//
+//scatterlint:ignore costinvariant deliberate negative kept for the audit fixture
+var used = cost.Linear{PerItem: -1}
+
+// Stale: the literal below is valid, so nothing is suppressed.
+//
+//scatterlint:ignore costinvariant nothing left to suppress here
+var stale = cost.Linear{PerItem: 1}
+
+// Unknown: the analyzer name is a typo.
+//
+//scatterlint:ignore costinvariantt misspelled analyzer name
+var typo = cost.Linear{PerItem: 2}

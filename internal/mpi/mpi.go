@@ -24,6 +24,7 @@ package mpi
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/core"
@@ -140,9 +141,17 @@ func (w *World) markFailed(rank int, cause error) {
 		return
 	}
 	w.failed[rank] = cause
-	pending := make([]*collective, 0, len(w.collectives))
-	for _, st := range w.collectives {
-		pending = append(pending, st)
+	// Fail pending collectives in sequence order, not map order, so
+	// every run delivers ErrRankFailed wakeups in the same order and
+	// fault traces replay identically.
+	seqs := make([]int, 0, len(w.collectives))
+	for seq := range w.collectives {
+		seqs = append(seqs, seq)
+	}
+	sort.Ints(seqs)
+	pending := make([]*collective, 0, len(seqs))
+	for _, seq := range seqs {
+		pending = append(pending, w.collectives[seq])
 	}
 	close(w.failCh)
 	w.failCh = make(chan struct{})
