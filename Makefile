@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-fault bench-recovery bench-solver bench-lint figures fmt lint check ci
+.PHONY: all build vet test race bench bench-fault bench-recovery bench-solver bench-degraded bench-lint figures fmt lint check ci
 
 all: build
 
@@ -34,6 +34,12 @@ bench-recovery:
 # warm crash re-solves, plan-cache hits). Takes a few minutes.
 bench-solver:
 	$(GO) run ./cmd/scatterbench -solver BENCH_solver.json
+
+# Regenerate BENCH_degraded.json (degraded-network recovery on routed
+# ring platforms: exact-DP re-solves vs the diffusion fallback under a
+# site partition plus degraded trunk links, at three graph sizes).
+bench-degraded:
+	$(GO) run ./cmd/scatterbench -degraded BENCH_degraded.json
 
 # Regenerate BENCH_lint.json (scatterlint runtime over this module:
 # loader, the five syntactic analyzers, the three dataflow analyzers,

@@ -12,6 +12,10 @@
 //	scatterbench -solver BENCH_solver.json
 //	                                 # solver benchmark only: write the
 //	                                 # incremental-engine JSON and exit
+//	scatterbench -degraded BENCH_degraded.json
+//	                                 # degraded-network benchmark only:
+//	                                 # write the exact-vs-diffusion JSON
+//	                                 # and exit
 //	scatterbench -exp algocost -cpuprofile cpu.out -memprofile mem.out
 //	                                 # profile any run with runtime/pprof
 //
@@ -41,6 +45,7 @@ func main() {
 		svgDir     = flag.String("svg", "", "write figure SVGs into this directory")
 		recovery   = flag.String("recovery", "", "run only the recovery benchmark and write its JSON to this file")
 		solver     = flag.String("solver", "", "run only the solver benchmark and write its JSON to this file")
+		degraded   = flag.String("degraded", "", "run only the degraded-network benchmark and write its JSON to this file")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -96,6 +101,20 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *recovery)
+		return
+	}
+
+	if *degraded != "" {
+		buf, err := experiment.DegradedJSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scatterbench: degraded: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*degraded, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "scatterbench: write %s: %v\n", *degraded, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *degraded)
 		return
 	}
 

@@ -33,7 +33,10 @@ import (
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/fault"
+	"repro/internal/monitor"
 	"repro/internal/mpi"
+	"repro/internal/platform"
+	"repro/internal/simgrid"
 )
 
 // item is one unit of pipeline work: an input value tagged with its
@@ -73,6 +76,25 @@ type Config struct {
 	// crash at a known pipeline phase) on top of — or, with zero
 	// probabilities, instead of — the random ones.
 	ExtraFaults []fault.Fault
+	// Graph, when set, replaces Procs/Root with a routed multi-hop
+	// platform: ranks come from Graph.Flatten().Processors() (root
+	// last), NetFaults are compiled into a fault.NetPlan over its
+	// routes, and the world gets the graph's diffusion adjacency plus a
+	// model-divergence detector so degraded re-solves fall back to
+	// diffusion.
+	Graph *platform.Graph
+	// NetFaults are network-level faults — link degrades, flapping
+	// links, site partitions that heal — declared against Graph's node
+	// names. Requires Graph.
+	NetFaults []fault.NetFault
+	// Divergence tunes the detector wired into graph-backed runs; zero
+	// fields take the monitor package defaults.
+	Divergence monitor.DivergenceConfig
+	// ExactRecovery omits the divergence detector from a graph-backed
+	// run: every recovery re-solve uses the exact DP even when the
+	// network is degraded. The degraded benchmark uses it as the
+	// comparison baseline for the diffusion fallback.
+	ExactRecovery bool
 	// Policy governs detection, retry and re-election.
 	Policy fault.Policy
 	// Compute is the per-item computation; nil defaults to a fixed
@@ -101,6 +123,9 @@ type Result struct {
 	// contributions.
 	Failovers  int
 	Recomputes int
+	// DiffuseRounds counts scatter rebalances that used the diffusion
+	// fallback instead of the exact DP (degraded-network mode).
+	DiffuseRounds int
 	// Scatters and Gathers are the collectives' reports, in pipeline
 	// order.
 	Scatters []*mpi.ScatterReport
@@ -189,6 +214,31 @@ func buildPlan(cfg Config, horizon float64) (*fault.Plan, error) {
 // Run executes one chaos pipeline and machine-checks its invariants,
 // returning an error on any violation. Total loss is not a violation.
 func Run(cfg Config) (*Result, error) {
+	var netplan *fault.NetPlan
+	var diffAdj [][]int
+	if cfg.Graph != nil {
+		pl, err := cfg.Graph.Flatten()
+		if err != nil {
+			return nil, fmt.Errorf("chaos: flattening graph: %w", err)
+		}
+		procs, err := pl.Processors()
+		if err != nil {
+			return nil, fmt.Errorf("chaos: graph processors: %w", err)
+		}
+		rankNodes, err := cfg.Graph.ProcessorNodes()
+		if err != nil {
+			return nil, fmt.Errorf("chaos: graph rank nodes: %w", err)
+		}
+		netplan, err = simgrid.BuildNetPlan(*cfg.Graph, rankNodes, cfg.NetFaults)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: compiling net faults: %w", err)
+		}
+		cfg.Procs = procs
+		cfg.Root = len(procs) - 1
+		diffAdj = cfg.Graph.RankAdjacency(rankNodes)
+	} else if len(cfg.NetFaults) > 0 {
+		return nil, fmt.Errorf("chaos: NetFaults require a Graph")
+	}
 	p := len(cfg.Procs)
 	if p < 2 {
 		return nil, fmt.Errorf("chaos: need at least 2 ranks, have %d", p)
@@ -233,6 +283,13 @@ func Run(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("chaos: %w", err)
 	}
 	w.SetFaultPlan(plan, cfg.Policy)
+	if cfg.Graph != nil {
+		w.SetNetPlan(netplan)
+		w.SetDiffusionAdjacency(diffAdj)
+		if !cfg.ExactRecovery {
+			w.SetDivergence(monitor.NewDivergence(cfg.Divergence))
+		}
+	}
 
 	res := &Result{Plan: plan, Horizon: horizon, Expected: expected}
 	// Durable root-side state: the output merge mask. Only the current
@@ -348,6 +405,11 @@ func Run(cfg Config) (*Result, error) {
 	res.Output = output
 	for _, s := range res.Scatters {
 		res.Failovers += s.Failovers
+		for _, rb := range s.Rebalances {
+			if rb.Mode == mpi.RebalanceDiffuse {
+				res.DiffuseRounds++
+			}
+		}
 	}
 	for _, g := range res.Gathers {
 		res.Failovers += g.Failovers
@@ -383,43 +445,133 @@ func verify(cfg Config, res *Result, mask []bool) error {
 			return fmt.Errorf("chaos: output[%d] = %d, want %d", i, res.Output[i], res.Expected[i])
 		}
 	}
-	// Guarantee band: every recovery re-solve stays within Eq. (4) of
-	// the optimum for the surviving processors.
+	// Every recovery re-solve is audited by mode: exact rebalances stay
+	// inside the Eq. (4) guarantee band and replay bit-identically
+	// through the from-scratch solver; diffuse rebalances replay
+	// bit-identically through core.DiffusePool over the recorded live
+	// adjacency and — when that adjacency is connected — stay inside the
+	// documented diffusion band; uniform rebalances (the last-resort
+	// split) only need conservation.
 	for i, s := range res.Scatters {
 		for j, rb := range s.Rebalances {
-			ms := core.Makespan(rb.Procs, rb.Dist)
-			opt, err := balance(rb.Procs, rb.Items)
-			if err != nil {
-				return fmt.Errorf("chaos: scatter %d rebalance %d: re-solving: %w", i, j, err)
+			if got := rb.Dist.Sum(); got != rb.Items {
+				return fmt.Errorf("chaos: scatter %d rebalance %d: %s distribution moves %d of %d items",
+					i, j, rb.Mode, got, rb.Items)
 			}
-			if band := opt.Makespan + core.GuaranteeBound(rb.Procs) + 1e-9; ms > band {
-				return fmt.Errorf("chaos: scatter %d rebalance %d: makespan %g exceeds guarantee band %g",
-					i, j, ms, band)
-			}
-			// Resolve identity: the runtime's warm-started re-solve
-			// must match the from-scratch exact solver bit for bit.
-			// The comparison re-runs the O(p·n²) DP, so it is bounded
-			// to the fuzz-corpus scale; larger runs are still covered
-			// by the band check above.
-			if rb.Items <= resolveIdentityMaxItems {
-				fresh, err := freshSolve(rb.Procs, rb.Items)
-				if err != nil {
-					return fmt.Errorf("chaos: scatter %d rebalance %d: fresh solve: %w", i, j, err)
+			switch rb.Mode {
+			case mpi.RebalanceDiffuse:
+				if err := verifyDiffuse(i, j, rb); err != nil {
+					return err
 				}
-				if len(fresh.Distribution) != len(rb.Dist) {
-					return fmt.Errorf("chaos: scatter %d rebalance %d: resolve has %d shares, fresh %d",
-						i, j, len(rb.Dist), len(fresh.Distribution))
-				}
-				for k := range rb.Dist {
-					if rb.Dist[k] != fresh.Distribution[k] {
-						return fmt.Errorf("chaos: scatter %d rebalance %d: share %d: resolve %d != fresh %d",
-							i, j, k, rb.Dist[k], fresh.Distribution[k])
-					}
+			case mpi.RebalanceUniform:
+				// Conservation (checked above) is all a last-resort
+				// split promises.
+			default: // exact, including pre-Mode records
+				if err := verifyExact(i, j, rb); err != nil {
+					return err
 				}
 			}
 		}
 	}
 	return nil
+}
+
+// verifyExact audits one exact-mode rebalance: the Eq. (4) guarantee
+// band plus bit-identity with a from-scratch solve.
+func verifyExact(i, j int, rb mpi.Rebalance) error {
+	ms := core.Makespan(rb.Procs, rb.Dist)
+	opt, err := balance(rb.Procs, rb.Items)
+	if err != nil {
+		return fmt.Errorf("chaos: scatter %d rebalance %d: re-solving: %w", i, j, err)
+	}
+	if band := opt.Makespan + core.GuaranteeBound(rb.Procs) + 1e-9; ms > band {
+		return fmt.Errorf("chaos: scatter %d rebalance %d: makespan %g exceeds guarantee band %g",
+			i, j, ms, band)
+	}
+	// Resolve identity: the runtime's warm-started re-solve
+	// must match the from-scratch exact solver bit for bit.
+	// The comparison re-runs the O(p·n²) DP, so it is bounded
+	// to the fuzz-corpus scale; larger runs are still covered
+	// by the band check above.
+	if rb.Items <= resolveIdentityMaxItems {
+		fresh, err := freshSolve(rb.Procs, rb.Items)
+		if err != nil {
+			return fmt.Errorf("chaos: scatter %d rebalance %d: fresh solve: %w", i, j, err)
+		}
+		if len(fresh.Distribution) != len(rb.Dist) {
+			return fmt.Errorf("chaos: scatter %d rebalance %d: resolve has %d shares, fresh %d",
+				i, j, len(rb.Dist), len(fresh.Distribution))
+		}
+		for k := range rb.Dist {
+			if rb.Dist[k] != fresh.Distribution[k] {
+				return fmt.Errorf("chaos: scatter %d rebalance %d: share %d: resolve %d != fresh %d",
+					i, j, k, rb.Dist[k], fresh.Distribution[k])
+			}
+		}
+	}
+	return nil
+}
+
+// verifyDiffuse audits one diffusion-mode rebalance: bit-identity with
+// a replayed diffusion over the recorded live adjacency (so items can
+// never have crossed a cut edge) and, when the survivors were all in
+// one component, the documented quality band against the exact
+// optimum.
+func verifyDiffuse(i, j int, rb mpi.Rebalance) error {
+	if rb.Adjacency == nil {
+		return fmt.Errorf("chaos: scatter %d rebalance %d: diffuse rebalance without its adjacency", i, j)
+	}
+	fresh, _, err := core.DiffusePool(rb.Procs, rb.Adjacency, rb.Items)
+	if err != nil {
+		return fmt.Errorf("chaos: scatter %d rebalance %d: replaying diffusion: %w", i, j, err)
+	}
+	if len(fresh.Distribution) != len(rb.Dist) {
+		return fmt.Errorf("chaos: scatter %d rebalance %d: diffusion has %d shares, replay %d",
+			i, j, len(rb.Dist), len(fresh.Distribution))
+	}
+	for k := range rb.Dist {
+		if rb.Dist[k] != fresh.Distribution[k] {
+			return fmt.Errorf("chaos: scatter %d rebalance %d: share %d: diffusion %d != replay %d",
+				i, j, k, rb.Dist[k], fresh.Distribution[k])
+		}
+	}
+	if !connectedAdj(rb.Adjacency) || rb.Items > resolveIdentityMaxItems {
+		return nil
+	}
+	ms := core.Makespan(rb.Procs, rb.Dist)
+	opt, err := balance(rb.Procs, rb.Items)
+	if err != nil {
+		return fmt.Errorf("chaos: scatter %d rebalance %d: diffusion reference solve: %w", i, j, err)
+	}
+	band := core.DiffusionBandFactor*opt.Makespan + core.GuaranteeBound(rb.Procs) + 1e-9
+	if ms > band {
+		return fmt.Errorf("chaos: scatter %d rebalance %d: diffuse makespan %g exceeds band %g (exact %g)",
+			i, j, ms, band, opt.Makespan)
+	}
+	return nil
+}
+
+// connectedAdj reports whether the adjacency forms one component.
+func connectedAdj(adj [][]int) bool {
+	if len(adj) == 0 {
+		return true
+	}
+	seen := make([]bool, len(adj))
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, nb := range adj[v] {
+			if nb >= 0 && nb < len(adj) && !seen[nb] {
+				seen[nb] = true
+				count++
+				stack = append(stack, nb)
+			}
+		}
+	}
+	return count == len(adj)
 }
 
 // resolveIdentityMaxItems bounds the from-scratch DP re-run of the

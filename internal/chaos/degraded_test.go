@@ -1,0 +1,273 @@
+package chaos
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/monitor"
+	"repro/internal/platform"
+)
+
+// chaosGraph is the degraded-scenario topology: the root's site with
+// one extra worker, a second site one hop away, and a third site whose
+// cheapest route runs through the second — so a siteB partition also
+// severs siteC unless traffic falls back to the expensive direct link.
+//
+// Flattened rank order (root last): a1=0 (siteA), b1=1 (siteB),
+// c1=2 (siteC), root0=3 (siteA).
+func chaosGraph() platform.Graph {
+	return platform.Graph{
+		Name: "chaos-grid",
+		Root: "root0",
+		Nodes: []platform.Node{
+			{Name: "siteA", Machines: []platform.Machine{
+				{Name: "root0", CPUs: 1, Beta: 1},
+				{Name: "a1", CPUs: 1, Beta: 1, Alpha: 0.05},
+			}},
+			{Name: "siteB", Machines: []platform.Machine{
+				{Name: "b1", CPUs: 1, Beta: 2, Alpha: 0.05},
+			}},
+			{Name: "siteC", Machines: []platform.Machine{
+				{Name: "c1", CPUs: 1, Beta: 1, Alpha: 0.05},
+			}},
+		},
+		Links: []platform.Link{
+			{A: "siteA", B: "siteB", Alpha: 0.2},
+			{A: "siteB", B: "siteC", Alpha: 0.2},
+			{A: "siteA", B: "siteC", Alpha: 0.6},
+		},
+	}
+}
+
+// degradedConfig is the scenario baseline: a graph-backed run with no
+// rank-level faults and a retry policy patient enough to ride out the
+// scripted partitions.
+func degradedConfig(seed int64, items int, faults []fault.NetFault) Config {
+	g := chaosGraph()
+	return Config{
+		Seed:           seed,
+		Items:          items,
+		Graph:          &g,
+		NetFaults:      faults,
+		Horizon:        1, // irrelevant: no random rank faults
+		ForceRootCrash: -1,
+		Divergence:     monitor.DivergenceConfig{Window: 4, Trip: 2, Clear: 3},
+		Policy: fault.Policy{
+			Timeout:    1,
+			MaxRetries: 5,
+			Backoff:    fault.Backoff{Base: 0.25, Factor: 2, Cap: 1},
+		},
+	}
+}
+
+func scatterTimeouts(res *Result) int {
+	n := 0
+	for _, s := range res.Scatters {
+		n += s.Timeouts
+	}
+	return n
+}
+
+func TestChaosPartitionDuringScatter(t *testing.T) {
+	// siteC drops off the grid shortly after the scatter starts and
+	// heals at t=4. Transfers to c1 inside the window are lost; the
+	// retries span the heal, c1 rejoins mid-scatter, and the pipeline
+	// must finish with the fault-free output and no rank declared dead.
+	cfg := degradedConfig(21, 24, []fault.NetFault{
+		{Kind: fault.Partition, Site: "siteC", Start: 0.5, End: 4},
+	})
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalLoss {
+		t.Fatal("partition-and-heal run reported total loss")
+	}
+	if scatterTimeouts(res) == 0 {
+		t.Error("partition during scatter caused no timeouts — the window missed the transfers")
+	}
+	for _, s := range res.Scatters {
+		if len(s.Failed) != 0 {
+			t.Errorf("ranks %v declared dead despite the heal", s.Failed)
+		}
+	}
+}
+
+func TestChaosRootIsolatedThenHealed(t *testing.T) {
+	// The root's own site is cut off: every off-site transfer times out
+	// until the heal at t=3. The co-located worker a1 stays reachable
+	// throughout. Retries must carry b1 and c1 across the heal.
+	cfg := degradedConfig(22, 24, []fault.NetFault{
+		{Kind: fault.Partition, Site: "siteA", Start: 0.25, End: 3},
+	})
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalLoss {
+		t.Fatal("root isolation cascaded to total loss")
+	}
+	if scatterTimeouts(res) == 0 {
+		t.Error("root isolation caused no timeouts")
+	}
+	for _, s := range res.Scatters {
+		if len(s.Failed) != 0 {
+			t.Errorf("ranks %v declared dead despite the heal", s.Failed)
+		}
+	}
+}
+
+func TestChaosRootIsolationExhaustsIntoDiffusion(t *testing.T) {
+	// Same isolation but with an impatient policy and no heal in sight:
+	// the off-site ranks exhaust their retries and die, the divergence
+	// detector is pinned by the partition, and the reclaimed items are
+	// re-balanced by diffusion over the root's residual component.
+	cfg := degradedConfig(23, 24, []fault.NetFault{
+		{Kind: fault.Partition, Site: "siteA", Start: 0.25, End: 500},
+	})
+	cfg.Policy.MaxRetries = 2
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalLoss {
+		t.Fatal("partial partition reported total loss")
+	}
+	if res.DiffuseRounds == 0 {
+		t.Errorf("no diffusion rounds; scatters = %+v", res.Scatters)
+	}
+	// Every item must still land exactly once (Run verified it); the
+	// dead ranks are exactly the off-site ones.
+	failed := map[int]bool{}
+	for _, s := range res.Scatters {
+		for _, r := range s.Failed {
+			failed[r] = true
+		}
+	}
+	if !failed[1] || !failed[2] || failed[0] || failed[3] {
+		t.Errorf("failed ranks = %v, want exactly the off-site ranks 1 and 2", failed)
+	}
+}
+
+func TestChaosFlappingLink(t *testing.T) {
+	// The siteA-siteB trunk flaps: down for the first 40% of every
+	// second until t=6. Both b1's and c1's routes cross it, so their
+	// transfers keep getting lost and retried; the run must still
+	// converge to the fault-free output.
+	cfg := degradedConfig(24, 24, []fault.NetFault{
+		{Kind: fault.LinkFlap, EdgeA: "siteA", EdgeB: "siteB", Start: 0, End: 6, Period: 1, Duty: 0.4},
+	})
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalLoss {
+		t.Fatal("flapping link cascaded to total loss")
+	}
+	if scatterTimeouts(res) == 0 {
+		t.Error("flapping link caused no timeouts")
+	}
+}
+
+func TestChaosSiteRejoin(t *testing.T) {
+	// siteB is partitioned from the start; the heal lands while the
+	// root is still retrying b1's share, so the site rejoins the
+	// scatter it was born outside of. A degrade on the trunk afterwards
+	// stretches the late transfers without losing them.
+	cfg := degradedConfig(25, 24, []fault.NetFault{
+		{Kind: fault.Partition, Site: "siteB", Start: 0, End: 3.5},
+		{Kind: fault.LinkDegrade, EdgeA: "siteA", EdgeB: "siteB", Start: 3.5, End: 30, Factor: 2},
+	})
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalLoss {
+		t.Fatal("site rejoin reported total loss")
+	}
+	for _, s := range res.Scatters {
+		if len(s.Failed) != 0 {
+			t.Errorf("ranks %v declared dead despite rejoining", s.Failed)
+		}
+	}
+	if scatterTimeouts(res) == 0 {
+		t.Error("partition caused no timeouts before the rejoin")
+	}
+}
+
+func TestChaosDegradedDeterminism(t *testing.T) {
+	cfg := degradedConfig(26, 32, []fault.NetFault{
+		{Kind: fault.Partition, Site: "siteC", Start: 0.5, End: 200},
+		{Kind: fault.LinkFlap, EdgeA: "siteA", EdgeB: "siteB", Start: 0, End: 5, Period: 1, Duty: 0.3},
+	})
+	cfg.Policy.MaxRetries = 2
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalLoss != b.TotalLoss || a.DiffuseRounds != b.DiffuseRounds ||
+		a.Failovers != b.Failovers || len(a.Scatters) != len(b.Scatters) {
+		t.Fatalf("replay diverged: %+v vs %+v", a, b)
+	}
+	for i := range a.Output {
+		if a.Output[i] != b.Output[i] {
+			t.Fatalf("replay output[%d] differs: %d vs %d", i, a.Output[i], b.Output[i])
+		}
+	}
+}
+
+// TestChaosDegradedSweep runs seeded random network-fault schedules —
+// partitions that heal, degrades, flaps — over the routed graph, with
+// rank-level crashes mixed in on half the seeds, and requires every
+// run to pass the machine-checked invariants (exactly-once through
+// partition and rejoin, diffuse rebalances bit-replayable over their
+// live adjacency and inside the quality band, exact rebalances inside
+// the Eq. (4) band).
+func TestChaosDegradedSweep(t *testing.T) {
+	sites := []string{"siteB", "siteC"}
+	edges := [][2]string{{"siteA", "siteB"}, {"siteB", "siteC"}, {"siteA", "siteC"}}
+	const seeds = 120
+	diffused, degradedRuns := 0, 0
+	for seed := int64(0); seed < seeds; seed++ {
+		faults := fault.RandomNet(fault.RandomNetConfig{
+			Seed:          seed,
+			Sites:         sites,
+			RootSite:      "siteA",
+			Edges:         edges,
+			Horizon:       12,
+			PartitionProb: 0.4,
+			DegradeProb:   0.4,
+			FlapProb:      0.4,
+			MaxFactor:     4,
+		})
+		if len(faults) > 0 {
+			degradedRuns++
+		}
+		cfg := degradedConfig(seed, 16+int(seed%3)*8, faults)
+		if seed%2 == 1 {
+			cfg.CrashProb = 0.3
+			cfg.Horizon = 12
+		}
+		if seed%3 == 2 {
+			cfg.Policy.MaxRetries = 2 // let partitions kill ranks sometimes
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("seed %d (faults %v): %v", seed, faults, err)
+		}
+		diffused += res.DiffuseRounds
+		if res.TotalLoss && res.Output != nil {
+			t.Fatalf("seed %d: total loss with an output", seed)
+		}
+	}
+	if degradedRuns < seeds/2 {
+		t.Fatalf("only %d/%d sweep runs drew network faults — probabilities too low", degradedRuns, seeds)
+	}
+	if diffused == 0 {
+		t.Error("no sweep run ever took the diffusion fallback — the sweep is not exercising degraded mode")
+	}
+}

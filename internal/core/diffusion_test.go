@@ -1,0 +1,209 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cost"
+)
+
+// diffProcs builds p processors with cycling link/speed heterogeneity,
+// root last, matching the chaos harness shapes.
+func diffProcs(p int) []Processor {
+	procs := make([]Processor, p)
+	for r := 0; r < p; r++ {
+		procs[r] = Processor{
+			Name: string(rune('a' + r)),
+			Comm: cost.Linear{PerItem: 0.5 + 0.5*float64(r%3)},
+			Comp: cost.Linear{PerItem: 1 + float64((r+1)%3)},
+		}
+	}
+	procs[p-1].Comm = cost.Zero
+	return procs
+}
+
+// pathAdj builds a path 0-1-2-...-(p-1).
+func pathAdj(p int) [][]int {
+	adj := make([][]int, p)
+	for i := 0; i < p-1; i++ {
+		adj[i] = append(adj[i], i+1)
+		adj[i+1] = append(adj[i+1], i)
+	}
+	return adj
+}
+
+func fullAdj(p int) [][]int {
+	adj := make([][]int, p)
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			if i != j {
+				adj[i] = append(adj[i], j)
+			}
+		}
+	}
+	return adj
+}
+
+func TestDiffuseBalancesPool(t *testing.T) {
+	for _, p := range []int{2, 4, 7} {
+		for _, n := range []int{0, 1, 13, 1000} {
+			procs := diffProcs(p)
+			res, stats, err := DiffusePool(procs, pathAdj(p), n)
+			if err != nil {
+				t.Fatalf("p=%d n=%d: %v", p, n, err)
+			}
+			if err := res.Distribution.Validate(p, n); err != nil {
+				t.Fatalf("p=%d n=%d: %v", p, n, err)
+			}
+			if stats.Components != 1 {
+				t.Errorf("p=%d: %d components on a path", p, stats.Components)
+			}
+			// Connected graph: every processor ends exactly on its
+			// speed-weighted target, so faster processors never hold
+			// fewer items than slower ones (up to rounding).
+			for i := 0; i < p; i++ {
+				for j := 0; j < p; j++ {
+					ci, cj := MarginalCompCost(procs[i]), MarginalCompCost(procs[j])
+					if ci < cj && res.Distribution[i]+1 < res.Distribution[j] {
+						t.Errorf("p=%d n=%d: faster proc %d got %d < slower proc %d's %d",
+							p, n, i, res.Distribution[i], j, res.Distribution[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDiffuseRespectsComponents(t *testing.T) {
+	// Two islands: {0,1} and {2,3}, pool split across them. Items must
+	// not teleport across the cut.
+	procs := diffProcs(4)
+	adj := [][]int{{1}, {0}, {3}, {2}}
+	load := Distribution{10, 0, 0, 6}
+	res, stats, err := Diffuse(DiffusionConfig{Procs: procs, Adjacency: adj, Load: load})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Components != 2 {
+		t.Fatalf("components = %d, want 2", stats.Components)
+	}
+	if got := res.Distribution[0] + res.Distribution[1]; got != 10 {
+		t.Errorf("island {0,1} holds %d items, want 10", got)
+	}
+	if got := res.Distribution[2] + res.Distribution[3]; got != 6 {
+		t.Errorf("island {2,3} holds %d items, want 6", got)
+	}
+}
+
+func TestDiffuseDeterministic(t *testing.T) {
+	procs := diffProcs(6)
+	adj := fullAdj(6)
+	load := Distribution{40, 0, 3, 0, 0, 57}
+	first, _, err := Diffuse(DiffusionConfig{Procs: procs, Adjacency: adj, Load: load})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		got, _, err := Diffuse(DiffusionConfig{Procs: procs, Adjacency: adj, Load: load})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range got.Distribution {
+			if got.Distribution[k] != first.Distribution[k] {
+				t.Fatalf("run %d: share %d = %d, want %d", i, k, got.Distribution[k], first.Distribution[k])
+			}
+		}
+	}
+}
+
+func TestDiffuseRandomConservationAndTargets(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		p := 2 + rng.Intn(9)
+		procs := diffProcs(p)
+		// Random connected-ish graph: path backbone plus chords.
+		adj := pathAdj(p)
+		for k := 0; k < p/2; k++ {
+			i, j := rng.Intn(p), rng.Intn(p)
+			if i == j {
+				continue
+			}
+			dup := false
+			for _, nb := range adj[i] {
+				if nb == j {
+					dup = true
+				}
+			}
+			if dup {
+				continue
+			}
+			adj[i] = append(adj[i], j)
+			adj[j] = append(adj[j], i)
+		}
+		load := make(Distribution, p)
+		n := 0
+		for i := range load {
+			load[i] = rng.Intn(50)
+			n += load[i]
+		}
+		res, _, err := Diffuse(DiffusionConfig{Procs: procs, Adjacency: adj, Load: load})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := res.Distribution.Validate(p, n); err != nil {
+			t.Fatalf("trial %d: conservation broken: %v", trial, err)
+		}
+	}
+}
+
+func TestDiffuseRejectsBadInput(t *testing.T) {
+	procs := diffProcs(3)
+	good := pathAdj(3)
+	cases := []struct {
+		name string
+		cfg  DiffusionConfig
+	}{
+		{"short load", DiffusionConfig{Procs: procs, Adjacency: good, Load: Distribution{1, 2}}},
+		{"negative load", DiffusionConfig{Procs: procs, Adjacency: good, Load: Distribution{1, -2, 3}}},
+		{"short adjacency", DiffusionConfig{Procs: procs, Adjacency: good[:2], Load: Distribution{1, 2, 3}}},
+		{"asymmetric edge", DiffusionConfig{Procs: procs, Adjacency: [][]int{{1}, {}, {}}, Load: Distribution{1, 2, 3}}},
+		{"self loop", DiffusionConfig{Procs: procs, Adjacency: [][]int{{0, 1}, {0}, {}}, Load: Distribution{1, 2, 3}}},
+		{"out of range", DiffusionConfig{Procs: procs, Adjacency: [][]int{{7}, {}, {}}, Load: Distribution{1, 2, 3}}},
+		{"no processors", DiffusionConfig{}},
+	}
+	for _, c := range cases {
+		if _, _, err := Diffuse(c.cfg); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+// TestDiffuseWithinBandOfExact spot-checks the documented quality band
+// on connected graphs: the full chaos sweep rechecks it across seeds.
+func TestDiffuseWithinBandOfExact(t *testing.T) {
+	for _, p := range []int{3, 5, 8} {
+		for _, n := range []int{32, 500} {
+			procs := diffProcs(p)
+			exact, err := Algorithm2(procs, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diff, _, err := DiffusePool(procs, fullAdj(p), n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			band := DiffusionBandFactor*exact.Makespan + GuaranteeBound(procs)
+			if diff.Makespan > band {
+				t.Errorf("p=%d n=%d: diffusion makespan %.3f above band %.3f (exact %.3f)",
+					p, n, diff.Makespan, band, exact.Makespan)
+			}
+		}
+	}
+}
+
+func TestMarginalCompCostLinear(t *testing.T) {
+	p := Processor{Comm: cost.Zero, Comp: cost.Linear{PerItem: 2.5}}
+	if got := MarginalCompCost(p); got < 2.5-1e-9 || got > 2.5+1e-9 {
+		t.Errorf("MarginalCompCost(linear 2.5) = %g", got)
+	}
+}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -9,7 +10,7 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"table1", "fig1", "fig2", "fig3", "fig4", "algocost", "quality", "ordering", "bound", "root", "tree", "masterslave", "overlap", "multiround", "sensitivity", "heterogeneity", "hierarchy", "recovery", "solver"}
+	want := []string{"table1", "fig1", "fig2", "fig3", "fig4", "algocost", "quality", "ordering", "bound", "root", "tree", "masterslave", "overlap", "multiround", "sensitivity", "heterogeneity", "hierarchy", "recovery", "solver", "degraded"}
 	ids := IDs()
 	if len(ids) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d: %v", len(ids), len(want), ids)
@@ -335,6 +336,26 @@ func TestRecovery(t *testing.T) {
 	fo := comparison(t, rep, "failovers")
 	if fo.Measured < 1 {
 		t.Errorf("early root crash elected no new root: failovers %g", fo.Measured)
+	}
+}
+
+func TestDegraded(t *testing.T) {
+	rep, err := Degraded()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sites := range degradedSizes {
+		c := comparison(t, rep, fmt.Sprintf("%d sites", sites))
+		// Diffusion must stay in the same ballpark as exact recovery.
+		// Negative is fine — the exact DP optimizes a cost model the
+		// degradation has made stale, so diffusion can win outright.
+		if c.Measured < -60 || c.Measured > 100 {
+			t.Errorf("%d sites: diffuse overhead %g%% out of the plausible range", sites, c.Measured)
+		}
+	}
+	worst := comparison(t, rep, "solver ratio")
+	if worst.Measured <= 0 || worst.Measured > 3 {
+		t.Errorf("worst diffuse/exact solver ratio %g, documented band is 3x", worst.Measured)
 	}
 }
 

@@ -67,6 +67,28 @@ func (b Backoff) Delay(attempt int) float64 {
 	return raw
 }
 
+// Stream returns a copy of the schedule whose jitter is decorrelated
+// by the given stream id: retries to different destinations draw from
+// different (still seeded, still deterministic) jitter streams, so
+// flapping-link retries across destinations do not synchronize into
+// retry storms that all probe the link during the same down phase. A
+// schedule without jitter is returned unchanged — every stream of a
+// jitter-free schedule is the same deterministic capped backoff.
+func (b Backoff) Stream(id int64) Backoff {
+	nb := b.normalized()
+	if nb.Jitter == 0 {
+		return b
+	}
+	// Mix the id into the seed through the same splitmix64 finalizer
+	// the jitter stream uses, so nearby ids give unrelated streams.
+	x := uint64(b.Seed) ^ (0x9e3779b97f4a7c15 * uint64(id+1))
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	b.Seed = int64(x)
+	return b
+}
+
 // unitRand maps (seed, k) to a uniform value in [0, 1) with a
 // splitmix64 finalizer — stateless, so Delay stays a pure function.
 func unitRand(seed int64, k int) float64 {

@@ -82,6 +82,43 @@ func TestBackoffSeedChangesJitter(t *testing.T) {
 	}
 }
 
+func TestBackoffStreams(t *testing.T) {
+	b := Backoff{Base: 0.5, Factor: 2, Cap: 1e9, Jitter: 0.9, Seed: 42}
+	// Every stream obeys the schedule contract.
+	for id := int64(0); id < 8; id++ {
+		checkBackoff(t, b.Stream(id), 48)
+	}
+	// Streams are deterministic per id...
+	for k := 0; k < 8; k++ {
+		if b.Stream(3).Delay(k) != b.Stream(3).Delay(k) {
+			t.Fatalf("stream replay diverged at attempt %d", k)
+		}
+	}
+	// ...and decorrelated across ids: two destinations retrying in
+	// lockstep must not wait identical jittered delays every attempt.
+	differs := false
+	for k := 0; k < 16; k++ {
+		if b.Stream(0).Delay(k) != b.Stream(1).Delay(k) {
+			differs = true
+			break
+		}
+	}
+	if !differs {
+		t.Error("streams 0 and 1 produced identical jittered schedules")
+	}
+}
+
+func TestBackoffStreamWithoutJitterIsIdentity(t *testing.T) {
+	b := Backoff{Base: 0.25, Factor: 2, Cap: 8}
+	for id := int64(0); id < 4; id++ {
+		for k := 0; k < 12; k++ {
+			if got, want := b.Stream(id).Delay(k), b.Delay(k); got != want {
+				t.Fatalf("jitter-free stream %d Delay(%d) = %g, want %g", id, k, got, want)
+			}
+		}
+	}
+}
+
 func TestPolicyDefaults(t *testing.T) {
 	p := Policy{}.WithDefaults()
 	if p.Timeout != 1 {

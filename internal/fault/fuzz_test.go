@@ -8,34 +8,48 @@ import (
 // FuzzBackoff drives arbitrary configurations through the schedule and
 // asserts the contract the retry loop relies on: every delay is finite
 // and non-negative, the sequence is monotone non-decreasing, bounded by
-// the (normalized) cap, and deterministic.
+// the (normalized) cap, and deterministic — and that every
+// per-destination jitter stream derived with Stream keeps the same
+// contract while staying a pure function of (config, id).
 func FuzzBackoff(f *testing.F) {
 	f.Add(0.25, 2.0, 8.0, 0.0, int64(0))
 	f.Add(0.5, 1.0, 3.0, 0.9, int64(7))
 	f.Add(1e-9, 10.0, 1e9, 5.0, int64(-1))
 	f.Add(math.NaN(), math.Inf(1), -3.0, math.NaN(), int64(12345))
+	// Jittered stream configurations: the flapping-link retry regime.
+	f.Add(0.25, 2.0, 8.0, 0.9, int64(99))
+	f.Add(2.0, 4.0, 1e6, 3.0, int64(-77))
 	f.Fuzz(func(t *testing.T, base, factor, cap_, jitter float64, seed int64) {
 		b := Backoff{Base: base, Factor: factor, Cap: cap_, Jitter: jitter, Seed: seed}
 		nb := b.normalized()
 		if !(nb.Base > 0) || !(nb.Factor >= 1) || !(nb.Cap > 0) || !(nb.Jitter >= 0) {
 			t.Fatalf("normalization left invalid fields: %+v", nb)
 		}
-		prev := 0.0
-		for k := 0; k <= 48; k++ {
-			d := b.Delay(k)
-			if math.IsNaN(d) || d < 0 {
-				t.Fatalf("Delay(%d) = %g for %+v", k, d, b)
+		// The base schedule and a handful of destination streams all
+		// satisfy the contract; the stream for a given id is stable.
+		schedules := []Backoff{b, b.Stream(0), b.Stream(1), b.Stream(seed), b.Stream(-seed)}
+		for si, sb := range schedules {
+			snb := sb.normalized()
+			prev := 0.0
+			for k := 0; k <= 48; k++ {
+				d := sb.Delay(k)
+				if math.IsNaN(d) || d < 0 {
+					t.Fatalf("schedule %d: Delay(%d) = %g for %+v", si, k, d, sb)
+				}
+				if d > snb.Cap {
+					t.Fatalf("schedule %d: Delay(%d) = %g exceeds cap %g for %+v", si, k, d, snb.Cap, sb)
+				}
+				if d < prev {
+					t.Fatalf("schedule %d: Delay(%d) = %g < Delay(%d) = %g for %+v", si, k, d, k-1, prev, sb)
+				}
+				if sb.Delay(k) != d {
+					t.Fatalf("schedule %d: Delay(%d) not deterministic for %+v", si, k, sb)
+				}
+				prev = d
 			}
-			if d > nb.Cap {
-				t.Fatalf("Delay(%d) = %g exceeds cap %g for %+v", k, d, nb.Cap, b)
-			}
-			if d < prev {
-				t.Fatalf("Delay(%d) = %g < Delay(%d) = %g for %+v", k, d, k-1, prev, b)
-			}
-			if b.Delay(k) != d {
-				t.Fatalf("Delay(%d) not deterministic for %+v", k, b)
-			}
-			prev = d
+		}
+		if b.Stream(5).Delay(3) != b.Stream(5).Delay(3) {
+			t.Fatal("Stream(5) not a pure function of its inputs")
 		}
 	})
 }

@@ -201,12 +201,30 @@ func (l *Ledger) Fresh(rank int) bool { return l.ReplicaSeq(rank) == len(l.entri
 // survivor trivially fresh, so the lowest rank wins). It returns false
 // only when there are no survivors.
 func (l *Ledger) ElectRoot(survivors []int) (int, bool) {
+	return l.ElectRootEligible(survivors, nil)
+}
+
+// ElectRootEligible is ElectRoot restricted to eligible survivors: a
+// survivor for which eligible returns false — typically a replica that
+// is itself on a partitioned site, unreachable at election time — is
+// skipped deterministically instead of being treated as freshest. A
+// nil predicate makes every survivor eligible. When no survivor is
+// eligible (every candidate partitioned away from the electorate) the
+// restriction is dropped and the plain freshest-replica rule decides,
+// so the election never dead-ends while survivors exist.
+func (l *Ledger) ElectRootEligible(survivors []int, eligible func(rank int) bool) (int, bool) {
 	winner, best, ok := -1, -2, false
 	for _, r := range survivors {
+		if eligible != nil && !eligible(r) {
+			continue
+		}
 		seq := l.ReplicaSeq(r)
 		if !ok || seq > best || (seq == best && r < winner) {
 			winner, best, ok = r, seq, true
 		}
+	}
+	if !ok && eligible != nil {
+		return l.ElectRootEligible(survivors, nil)
 	}
 	return winner, ok
 }

@@ -140,6 +140,44 @@ func TestLedgerElection(t *testing.T) {
 	}
 }
 
+func TestLedgerElectionSkipsUnreachableReplicas(t *testing.T) {
+	l := NewLedger()
+	l.Deliver(3, Range{0, 4}, 1)
+	l.Replicate(3) // rank 3 holds the freshest copy...
+	l.Deliver(1, Range{4, 6}, 2)
+	l.Replicate(1) // ...no wait: rank 1 does now
+	l.Replicate(2) // rank 2 is one entry stale
+	l.Deliver(2, Range{6, 8}, 3)
+
+	reachable := map[int]bool{2: true, 3: true}
+	eligible := func(r int) bool { return reachable[r] }
+
+	// Rank 1 has the freshest replica but sits on a partitioned site:
+	// the election must skip it deterministically, not crown it.
+	if r, ok := l.ElectRootEligible([]int{1, 2, 3}, eligible); !ok || r != 2 {
+		t.Errorf("election = %d, %v; want reachable rank 2 (freshest eligible)", r, ok)
+	}
+	// The same electorate with everyone reachable crowns rank 1.
+	if r, _ := l.ElectRootEligible([]int{1, 2, 3}, nil); r != 1 {
+		t.Errorf("unrestricted election = %d, want 1", r)
+	}
+	// Replays are deterministic.
+	for i := 0; i < 8; i++ {
+		if r, _ := l.ElectRootEligible([]int{3, 1, 2}, eligible); r != 2 {
+			t.Fatalf("replay %d elected %d, want 2", i, r)
+		}
+	}
+	// All candidates unreachable: the restriction is dropped rather
+	// than dead-ending — the plain freshest rule decides.
+	if r, ok := l.ElectRootEligible([]int{1, 2, 3}, func(int) bool { return false }); !ok || r != 1 {
+		t.Errorf("all-unreachable election = %d, %v; want fallback to 1, true", r, ok)
+	}
+	// No survivors at all still fails.
+	if _, ok := l.ElectRootEligible(nil, eligible); ok {
+		t.Error("election with no survivors succeeded")
+	}
+}
+
 func TestLedgerEncodeDecodeRoundTrip(t *testing.T) {
 	l := NewLedger()
 	l.Deliver(0, Range{0, 2}, 1.5)

@@ -40,6 +40,8 @@ var detOrderPkgPrefixes = []string{
 	"repro/internal/core",
 	"repro/internal/mpi",
 	"repro/internal/chaos",
+	"repro/internal/platform",
+	"repro/internal/simgrid",
 }
 
 func inDetOrderScope(path string) bool {

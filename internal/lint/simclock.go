@@ -35,6 +35,7 @@ var simulatedPkgPrefixes = []string{
 	"repro/internal/fault",
 	"repro/internal/chaos",
 	"repro/internal/core",
+	"repro/internal/platform",
 }
 
 // wallClockFuncs are the time package functions that read or wait on

@@ -1,0 +1,281 @@
+package mpi
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/monitor"
+)
+
+// netWorld4 is world4 plus a network fault plan; global ranks are
+// 0..2 with the root at 3.
+func netWorld4(t *testing.T, np *fault.NetPlan) *World {
+	t.Helper()
+	w := world4(t)
+	w.SetFaultPlan(nil, testPolicy())
+	w.SetNetPlan(np)
+	return w
+}
+
+func testDivergence() *monitor.Divergence {
+	return monitor.NewDivergence(monitor.DivergenceConfig{Threshold: 0.5, Window: 4, Trip: 2, Clear: 3})
+}
+
+func TestFTScattervNetPlanDegradeStretchesTransfer(t *testing.T) {
+	counts := []int{2, 2, 2, 2}
+	data := seqData(8)
+
+	base := netWorld4(t, nil)
+	_, _, _, baseStats := runFT(t, base, data, counts)
+
+	// Rank 0's transfer spans [0, 2) in the clean timeline; a 2x
+	// degrade on the root-rank0 pair doubles it.
+	np := fault.NewNetPlan()
+	np.AddSlow(3, 0, fault.FactorWindow{Window: fault.Window{Start: 0, End: 4}, Factor: 2})
+	w := netWorld4(t, np)
+	chunks, reports, scatterErrs, stats := runFT(t, w, data, counts)
+	for r, err := range scatterErrs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	checkExactlyOnce(t, data, chunks)
+	if got, want := stats[0].Finish-baseStats[0].Finish, 2.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("rank 0 finish slipped by %g, want %g", got, want)
+	}
+	if rep := reports[0]; rep.Rounds != 1 || rep.Timeouts != 0 || len(rep.Failed) != 0 {
+		t.Errorf("degrade-only report = %+v", rep)
+	}
+}
+
+func TestFTScattervPartitionRetriesAcrossHeal(t *testing.T) {
+	// Rank 1's transfer would span [2, 6). A cut until t=5 defeats the
+	// first two attempts; the third starts at 5.5, after the heal, and
+	// lands — the natural mid-scatter rejoin, no rank declared dead.
+	np := fault.NewNetPlan()
+	np.AddCut(3, 1, fault.Window{Start: 0, End: 5})
+	w := netWorld4(t, np)
+	counts := []int{2, 2, 2, 2}
+	data := seqData(8)
+	chunks, reports, scatterErrs, _ := runFT(t, w, data, counts)
+	for r, err := range scatterErrs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	checkExactlyOnce(t, data, chunks)
+	rep := reports[0]
+	if len(rep.Failed) != 0 || rep.Rounds != 1 {
+		t.Fatalf("rejoin report = %+v, want no failures in one round", rep)
+	}
+	if rep.Timeouts != 2 || rep.Retries != 2 {
+		t.Errorf("timeouts, retries = %d, %d; want 2, 2", rep.Timeouts, rep.Retries)
+	}
+	if len(chunks[1]) != 2 {
+		t.Errorf("rank 1 holds %d items after rejoin, want 2", len(chunks[1]))
+	}
+}
+
+func TestFTScattervPermanentCutDiffusesPool(t *testing.T) {
+	// Rank 1 is cut off for the whole run: its retries exhaust, the
+	// divergence detector trips on the timeouts, and the reclaimed pool
+	// is re-balanced by diffusion instead of the exact DP.
+	np := fault.NewNetPlan()
+	np.AddCut(3, 1, fault.Window{Start: 0, End: 1e6})
+	w := netWorld4(t, np)
+	div := testDivergence()
+	w.SetDivergence(div)
+	counts := []int{2, 2, 2, 2}
+	data := seqData(8)
+	chunks, reports, scatterErrs, _ := runFT(t, w, data, counts)
+
+	if !errors.Is(scatterErrs[1], ErrRankFailed) {
+		t.Fatalf("rank 1 error = %v, want ErrRankFailed", scatterErrs[1])
+	}
+	var surviving [][]int
+	for r, ch := range chunks {
+		if r != 1 {
+			surviving = append(surviving, ch)
+		}
+	}
+	checkExactlyOnce(t, data, surviving)
+	rep := reports[0]
+	if len(rep.Rebalances) == 0 {
+		t.Fatal("no rebalance recorded")
+	}
+	rb := rep.Rebalances[0]
+	if rb.Mode != RebalanceDiffuse {
+		t.Fatalf("rebalance mode = %q, want diffuse (detector tripped on %d timeouts)", rb.Mode, rep.Timeouts)
+	}
+	if rb.Items != 2 || rb.Dist.Sum() != 2 {
+		t.Errorf("rebalance = %+v, want the 2 reclaimed items", rb)
+	}
+	if !div.Degraded() {
+		t.Error("detector not degraded after permanent cut")
+	}
+}
+
+func TestFTScattervRootIsolationForcesDiffusion(t *testing.T) {
+	// Rank 2 holds no initial share and sits behind a partition for the
+	// whole scatter; rank 1 crashes, forcing a re-solve. The serving
+	// root cannot reach survivor 2, so the detector is pinned degraded
+	// and the diffusion rebalance gives rank 2 nothing — its component
+	// holds no items — instead of planning transfers over the cut.
+	np := fault.NewNetPlan()
+	np.AddCut(3, 2, fault.Window{Start: 0, End: 1e6})
+	np.AddCut(0, 2, fault.Window{Start: 0, End: 1e6})
+	np.AddCut(1, 2, fault.Window{Start: 0, End: 1e6})
+	w := netWorld4(t, np)
+	w.SetFaultPlan(fault.MustPlan(fault.Fault{Kind: fault.Crash, Rank: 1, Start: 0.1}), testPolicy())
+	div := testDivergence()
+	w.SetDivergence(div)
+	counts := []int{2, 2, 0, 4}
+	data := seqData(8)
+	chunks, reports, scatterErrs, _ := runFT(t, w, data, counts)
+
+	if !errors.Is(scatterErrs[1], ErrRankFailed) {
+		t.Fatalf("rank 1 error = %v, want ErrRankFailed", scatterErrs[1])
+	}
+	if scatterErrs[2] != nil {
+		t.Fatalf("partitioned-but-idle rank 2 failed: %v", scatterErrs[2])
+	}
+	var surviving [][]int
+	for r, ch := range chunks {
+		if r != 1 {
+			surviving = append(surviving, ch)
+		}
+	}
+	checkExactlyOnce(t, data, surviving)
+	rep := reports[0]
+	if len(rep.Rebalances) == 0 {
+		t.Fatal("no rebalance recorded")
+	}
+	rb := rep.Rebalances[0]
+	if rb.Mode != RebalanceDiffuse {
+		t.Fatalf("rebalance mode = %q, want diffuse (root isolated from survivor 2)", rb.Mode)
+	}
+	if !div.Forced() {
+		t.Error("detector not pinned by the partition")
+	}
+	// No items may be planned across the cut.
+	for pos, r := range rb.Ranks {
+		if r == 2 && rb.Dist[pos] != 0 {
+			t.Errorf("diffusion assigned %d items across the partition to rank 2", rb.Dist[pos])
+		}
+	}
+	if len(chunks[2]) != 0 {
+		t.Errorf("rank 2 holds %d items across a partition", len(chunks[2]))
+	}
+}
+
+func TestFTScattervFailoverSkipsPartitionedCandidate(t *testing.T) {
+	// The root crashes mid-scatter after serving ranks 0 and 1, both of
+	// which hold fresh ledger replicas. Rank 0 would win the election,
+	// but it is partitioned from everyone: the election must skip it
+	// and crown rank 1.
+	np := fault.NewNetPlan()
+	np.AddCut(0, 1, fault.Window{Start: 0, End: 1e6})
+	np.AddCut(0, 2, fault.Window{Start: 0, End: 1e6})
+	np.AddCut(0, 3, fault.Window{Start: 6.5, End: 1e6})
+	w := netWorld4(t, np)
+	w.SetFaultPlan(fault.MustPlan(fault.Fault{Kind: fault.Crash, Rank: 3, Start: 7}), testPolicy())
+	counts := []int{2, 2, 2, 2}
+	data := seqData(8)
+	_, reports, scatterErrs, _ := runFT(t, w, data, counts)
+
+	var rep *ScatterReport
+	for r, err := range scatterErrs {
+		if err == nil {
+			rep = reports[r]
+			break
+		}
+	}
+	if rep == nil {
+		t.Fatal("no surviving rank")
+	}
+	if rep.Failovers < 1 {
+		t.Fatalf("report = %+v, want a failover", rep)
+	}
+	if got := rep.RootPath[1]; got != 1 {
+		t.Errorf("elected root = %d, want 1 (rank 0 is partitioned)", got)
+	}
+}
+
+func TestFTScattervDegradedDeterministicReplay(t *testing.T) {
+	counts := []int{2, 2, 2, 2}
+	data := seqData(8)
+	run := func() (*ScatterReport, []float64) {
+		np := fault.NewNetPlan()
+		np.AddCut(3, 1, fault.Window{Start: 0, End: 1e6})
+		np.AddSlow(3, 2, fault.FactorWindow{Window: fault.Window{Start: 0, End: 20}, Factor: 3})
+		w := netWorld4(t, np)
+		w.SetFaultPlan(nil, fault.Policy{
+			Timeout: 1, MaxRetries: 2,
+			Backoff: fault.Backoff{Base: 0.5, Factor: 2, Cap: 2, Jitter: 0.5, Seed: 42},
+		})
+		w.SetDivergence(testDivergence())
+		_, reports, _, stats := runFT(t, w, data, counts)
+		var rep *ScatterReport
+		for r := range reports {
+			if reports[r] != nil {
+				rep = reports[r]
+				break
+			}
+		}
+		fins := make([]float64, len(stats))
+		for i, s := range stats {
+			fins[i] = s.Finish
+		}
+		return rep, fins
+	}
+	rep1, fins1 := run()
+	rep2, fins2 := run()
+	if rep1.Rounds != rep2.Rounds || rep1.Retries != rep2.Retries || rep1.Timeouts != rep2.Timeouts {
+		t.Fatalf("replay diverged: %+v vs %+v", rep1, rep2)
+	}
+	for i := range fins1 {
+		if fins1[i] != fins2[i] {
+			t.Errorf("rank %d finish %g vs %g across replays", i, fins1[i], fins2[i])
+		}
+	}
+	for i := range rep1.Rebalances {
+		a, b := rep1.Rebalances[i], rep2.Rebalances[i]
+		if a.Mode != b.Mode || a.Items != b.Items {
+			t.Errorf("rebalance %d differs: %+v vs %+v", i, a, b)
+		}
+		for k := range a.Dist {
+			if a.Dist[k] != b.Dist[k] {
+				t.Errorf("rebalance %d share %d differs", i, k)
+			}
+		}
+	}
+}
+
+func TestFTScattervDiffuseSpanLabels(t *testing.T) {
+	np := fault.NewNetPlan()
+	np.AddCut(3, 1, fault.Window{Start: 0, End: 1e6})
+	w := netWorld4(t, np)
+	w.SetDivergence(testDivergence())
+	counts := []int{2, 2, 2, 2}
+	data := seqData(8)
+	_, _, _, stats := runFT(t, w, data, counts)
+
+	labels := map[string]bool{}
+	for _, rs := range stats {
+		for _, s := range rs.Spans {
+			labels[s.Label] = true
+		}
+	}
+	found := false
+	for l := range labels {
+		if strings.HasPrefix(l, "diffuse→") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no diffuse→ span label; labels = %v", labels)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/fault"
+	"repro/internal/monitor"
 )
 
 // This file is the failure-aware counterpart of Scatterv. The serving
@@ -59,6 +60,67 @@ func (w *World) SetSendObserver(fn func(fault.SendEvent)) { w.fc.observer = fn }
 // flapping. When unset, the world's nominal processors are used. It
 // must be called before Run.
 func (w *World) SetRebalanceCosts(fn func(ranks []int) []core.Processor) { w.fc.rebalance = fn }
+
+// SetNetPlan installs a network-level fault plan: partition, flap and
+// degrade windows keyed by global rank pairs, typically compiled from
+// a routed platform.Graph by simgrid.BuildNetPlan. A cut pair's
+// transfers time out at the root like dropped links; a degraded pair's
+// transfers stretch by the plan's slowdown factor. It must be called
+// before Run; sub-worlds created by Split inherit it.
+func (w *World) SetNetPlan(np *fault.NetPlan) { w.fc.netplan = np }
+
+// SetDivergence installs the model-divergence detector that decides
+// when recovery re-solves abandon the exact DP for the diffusion
+// fallback: the scatter feeds it every observed transfer cost against
+// the planned one, pins it degraded while a partition cuts the serving
+// root off from survivors, and heals it when the network plan says the
+// faults are over. It must be called before Run.
+func (w *World) SetDivergence(d *monitor.Divergence) { w.fc.divergence = d }
+
+// SetDiffusionAdjacency installs the rank-level topology (global-rank
+// indexed, symmetric) that degraded-mode rebalances diffuse over,
+// typically platform.Graph.RankAdjacency. When unset, every reachable
+// pair of survivors counts as adjacent (the star assumption). It must
+// be called before Run.
+func (w *World) SetDiffusionAdjacency(adj [][]int) { w.fc.adjacency = adj }
+
+// liveAdjacency builds the diffusion adjacency over the survivors
+// (positions matching the slice) at time t: pairs adjacent in the
+// configured topology — all pairs when none is set — and currently
+// reachable under the network plan. Cut edges vanish, so diffusion
+// can never move items across an active partition.
+func (w *World) liveAdjacency(survivors []int, t float64) [][]int {
+	np := w.fc.netplan
+	base := w.fc.adjacency
+	adjacent := func(a, b int) bool {
+		ga, gb := w.globalRank(a), w.globalRank(b)
+		if base != nil {
+			if ga >= len(base) {
+				return false
+			}
+			found := false
+			for _, nb := range base[ga] {
+				if nb == gb {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return np.Reachable(ga, gb, t)
+	}
+	adj := make([][]int, len(survivors))
+	for i := range survivors {
+		for j := range survivors {
+			if i != j && adjacent(survivors[i], survivors[j]) {
+				adj[i] = append(adj[i], j)
+			}
+		}
+	}
+	return adj
+}
 
 // rebalanceProcs returns the processors to re-solve over, for the
 // given surviving ranks in service order (root last). The root's
@@ -117,7 +179,25 @@ type Rebalance struct {
 	// re-evaluate the distribution without access to the world.
 	Procs []core.Processor
 	Dist  core.Distribution
+	// Mode records how the distribution was computed: "exact" (the
+	// DP solver), "diffuse" (the degraded-network diffusion fallback),
+	// or "uniform" (the last-resort even split). Auditors hold exact
+	// rebalances to bit-identity with a fresh solve and diffuse ones to
+	// the documented quality band.
+	Mode string
+	// Adjacency is the live diffusion adjacency the fallback ran over
+	// (positions matching Ranks); nil for exact and uniform rebalances.
+	// Auditors replay core.DiffusePool over it to hold diffuse
+	// rebalances to bit-identity too.
+	Adjacency [][]int
 }
+
+// Rebalance modes.
+const (
+	RebalanceExact   = "exact"
+	RebalanceDiffuse = "diffuse"
+	RebalanceUniform = "uniform"
+)
 
 // ScatterReport describes how a fault-tolerant scatter went.
 type ScatterReport struct {
@@ -234,6 +314,8 @@ func FaultTolerantScatterv[T any](c *Comm, data []T, counts []int) ([]T, *Scatte
 		}
 		plan := w.fc.plan
 		pol := w.fc.policy.WithDefaults()
+		np := w.fc.netplan // nil-safe: a nil plan is a clean network
+		div := w.fc.divergence
 
 		root := origRoot
 		t := clocks[root]
@@ -284,12 +366,17 @@ func FaultTolerantScatterv[T any](c *Comm, data []T, counts []int) ([]T, *Scatte
 			gr := w.globalRank(r)
 			name := w.procs[r].Name
 			server := w.procs[root].Name
+			grServer := w.globalRank(root)
 			nominal := w.serveTransfer(root, r, items, true)
+			// Per-destination jitter stream: concurrent retries against
+			// a flapping link must not re-synchronize on the shared
+			// schedule. Stream is the identity for jitter-free policies.
+			backoff := pol.Backoff.Stream(int64(gr))
 			for attempt := 0; ; attempt++ {
 				if rootCrashes && t >= rootCrash {
 					return stRootLost
 				}
-				d := nominal * plan.Slowdown(gr, t)
+				d := nominal * plan.Slowdown(gr, t) * np.Slowdown(grServer, gr, t)
 				arrive := t + d
 				if rootCrashes && rootCrash < arrive {
 					// The server dies mid-transfer: the send is never
@@ -306,7 +393,8 @@ func FaultTolerantScatterv[T any](c *Comm, data []T, counts []int) ([]T, *Scatte
 					lastEnd[root] = t
 					return stRootLost
 				}
-				lost := plan.Crashed(gr, arrive) || plan.DropsDuring(gr, t, arrive)
+				lost := plan.Crashed(gr, arrive) || plan.DropsDuring(gr, t, arrive) ||
+					np.CutDuring(grServer, gr, t, arrive)
 				if !lost {
 					serveSpans[root] = append(serveSpans[root], Span{Phase: PhaseComm, Start: t, End: arrive, Label: label})
 					start, end := t, arrive
@@ -328,6 +416,9 @@ func FaultTolerantScatterv[T any](c *Comm, data []T, counts []int) ([]T, *Scatte
 						Rank: gr, Name: name, Server: server, At: arrive, Items: items,
 						Outcome: fault.SendDelivered, Nominal: nominal, Actual: d,
 					})
+					if div != nil {
+						div.Observe(nominal, d)
+					}
 					t = arrive
 					lastEnd[root] = t
 					return stDelivered
@@ -353,11 +444,14 @@ func FaultTolerantScatterv[T any](c *Comm, data []T, counts []int) ([]T, *Scatte
 					Rank: gr, Name: name, Server: server, At: t, Items: items,
 					Outcome: fault.SendTimedOut, Nominal: nominal,
 				})
+				if div != nil {
+					div.ObserveFailure()
+				}
 				if attempt >= pol.MaxRetries {
 					return stDestLost
 				}
 				sh.retries++
-				wait := pol.Backoff.Delay(attempt)
+				wait := backoff.Delay(attempt)
 				if wait > 0 {
 					bend := t + wait
 					if rootCrashes && rootCrash < bend {
@@ -380,6 +474,7 @@ func FaultTolerantScatterv[T any](c *Comm, data []T, counts []int) ([]T, *Scatte
 		}
 
 		allLost := false
+		roundMode := "" // how the current round's assignments were computed
 		for round := 1; ; round++ {
 			sh.rounds = round
 			// Serve the round's recipients in rank order over the
@@ -391,6 +486,8 @@ func FaultTolerantScatterv[T any](c *Comm, data []T, counts []int) ([]T, *Scatte
 				}
 				var label string
 				switch {
+				case roundMode == RebalanceDiffuse:
+					label = fmt.Sprintf("diffuse→%s", w.procs[r].Name)
 				case root != origRoot:
 					label = fmt.Sprintf("resume→%s", w.procs[r].Name)
 				case round > 1:
@@ -466,8 +563,25 @@ func FaultTolerantScatterv[T any](c *Comm, data []T, counts []int) ([]T, *Scatte
 				// Deterministic re-election: lowest survivor holding a
 				// fresh ledger copy. The election starts when the
 				// survivors notice the silence and ends after the
-				// agreement round.
-				newRoot, _ := ledger.ElectRoot(survivors)
+				// agreement round. Under an active partition the
+				// electorate skips candidates cut off from the majority
+				// of survivors — a fresh ledger on an unreachable site
+				// cannot serve anyone.
+				var eligible func(int) bool
+				if np.HasFaults() {
+					electAt := t
+					eligible = func(cand int) bool {
+						gc := w.globalRank(cand)
+						reach := 0
+						for _, s := range survivors {
+							if s != cand && np.Reachable(gc, w.globalRank(s), electAt) {
+								reach++
+							}
+						}
+						return 2*reach >= len(survivors)-1
+					}
+				}
+				newRoot, _ := ledger.ElectRootEligible(survivors, eligible)
 				electStart := t
 				if clocks[newRoot] > electStart {
 					electStart = clocks[newRoot]
@@ -508,19 +622,59 @@ func FaultTolerantScatterv[T any](c *Comm, data []T, counts []int) ([]T, *Scatte
 			survivors = append(survivors, root)
 			n := fault.RangeLen(pool)
 			solveProcs := w.rebalanceProcs(survivors)
-			dist := core.Uniform(len(survivors), n)
-			if res, err := w.Engine().Solve(solveProcs, n); err == nil {
-				dist = res.Distribution
+
+			// Decide the re-solve mode. Structural evidence first: a
+			// survivor the serving root cannot currently reach pins the
+			// detector degraded (an exact DP would plan transfers over a
+			// cut); a fully healed network releases the pin and lets the
+			// sample vote recover on its own.
+			if div != nil && np.HasFaults() {
+				if np.Healed(t) {
+					if div.Forced() {
+						div.Heal()
+					}
+				} else {
+					grServer := w.globalRank(root)
+					for _, s := range survivors {
+						if s != root && !np.Reachable(grServer, w.globalRank(s), t) {
+							div.ForceDegraded()
+							break
+						}
+					}
+				}
 			}
+			degraded := div != nil && div.Degraded()
+
+			dist := core.Uniform(len(survivors), n)
+			mode := RebalanceUniform
+			var liveAdj [][]int
+			if degraded {
+				// Diffusion fallback: balance over the live adjacency
+				// only. Survivors cut off from the root's component get
+				// nothing this round — their items would die with the
+				// retries — and rejoin via later rounds after the heal.
+				adj := w.liveAdjacency(survivors, t)
+				if res, _, err := core.DiffusePool(solveProcs, adj, n); err == nil {
+					dist = res.Distribution
+					mode = RebalanceDiffuse
+					liveAdj = adj
+				}
+			} else if res, err := w.Engine().Solve(solveProcs, n); err == nil {
+				dist = res.Distribution
+				mode = RebalanceExact
+			}
+			roundMode = mode
 			parts := fault.SplitRanges(pool, dist)
 			for pos, r := range survivors {
 				assign[r] = parts[pos]
 			}
 			sh.rebalances = append(sh.rebalances, Rebalance{
 				Round: round + 1, Root: root, Items: n,
-				Ranks: append([]int(nil), survivors...),
-				Procs: solveProcs,
-				Dist:  append(core.Distribution(nil), dist...),
+				Ranks:     append([]int(nil), survivors...),
+				Procs:     solveProcs,
+				Dist:      append(core.Distribution(nil), dist...),
+				Mode:      mode,
+				Adjacency: liveAdj,
 			})
 		}
 

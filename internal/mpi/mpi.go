@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/monitor"
 )
 
 // ErrRankFailed is the sentinel wrapped by every error caused by a
@@ -73,6 +74,15 @@ type faultConfig struct {
 	policy    fault.Policy
 	observer  func(fault.SendEvent)
 	rebalance func(ranks []int) []core.Processor
+	// netplan carries network-level faults (partitions, flaps,
+	// degrades) keyed by global rank pairs; nil means a clean network.
+	netplan *fault.NetPlan
+	// divergence, when set, tracks planned-vs-observed transfer costs
+	// and decides when re-solves switch to the diffusion fallback.
+	divergence *monitor.Divergence
+	// adjacency is the rank-level diffusion topology (global-rank
+	// indexed, symmetric); nil means all pairs are adjacent.
+	adjacency [][]int
 }
 
 // pairTag identifies a point-to-point FIFO channel.

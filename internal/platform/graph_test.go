@@ -1,0 +1,260 @@
+package platform
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// chainGraph builds root(siteA) - siteB - siteC with one machine per
+// site and simple costs for hand-checking routes.
+func chainGraph() Graph {
+	return Graph{
+		Name: "chain",
+		Nodes: []Node{
+			{Name: "siteA", Machines: []Machine{{Name: "rootm", CPUs: 1, Beta: 0.01}}},
+			{Name: "siteB", Machines: []Machine{{Name: "mb", CPUs: 1, Beta: 0.01, Alpha: 1e-5}}},
+			{Name: "siteC", Machines: []Machine{{Name: "mc", CPUs: 2, Beta: 0.02, Alpha: 2e-5}}},
+		},
+		Links: []Link{
+			{A: "siteA", B: "siteB", Alpha: 1e-4, Latency: 1e-3, Capacity: 1},
+			{A: "siteB", B: "siteC", Alpha: 2e-4, Latency: 2e-3, Capacity: 1},
+		},
+		Root: "rootm",
+	}
+}
+
+func TestGraphValidate(t *testing.T) {
+	if err := chainGraph().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Graph)
+	}{
+		{"no nodes", func(g *Graph) { g.Nodes = nil }},
+		{"dup node", func(g *Graph) { g.Nodes[1].Name = "siteA" }},
+		{"dup machine", func(g *Graph) { g.Nodes[1].Machines[0].Name = "rootm" }},
+		{"unknown link end", func(g *Graph) { g.Links[0].B = "nowhere" }},
+		{"self link", func(g *Graph) { g.Links[0].B = "siteA" }},
+		{"negative alpha", func(g *Graph) { g.Links[0].Alpha = -1 }},
+		{"no root", func(g *Graph) { g.Root = "" }},
+		{"missing root", func(g *Graph) { g.Root = "ghost" }},
+	}
+	for _, c := range cases {
+		g := chainGraph()
+		c.mut(&g)
+		if err := g.Validate(); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestGraphRoutes(t *testing.T) {
+	g := chainGraph()
+	routes, err := g.Routes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, ok := routes["siteC"]
+	if !ok {
+		t.Fatal("no route to siteC")
+	}
+	if want := []string{"siteA", "siteB", "siteC"}; len(rc.Path) != 3 || rc.Path[0] != want[0] || rc.Path[1] != want[1] || rc.Path[2] != want[2] {
+		t.Errorf("route to siteC = %v, want %v", rc.Path, want)
+	}
+	if math.Abs(rc.Alpha-3e-4) > 1e-12 || math.Abs(rc.Latency-3e-3) > 1e-12 {
+		t.Errorf("route costs = %g, %g; want 3e-4, 3e-3", rc.Alpha, rc.Latency)
+	}
+	if rc.Hops() != 2 || !rc.UsesLink("siteB", "siteA") || rc.UsesLink("siteA", "siteC") || !rc.UsesNode("siteB") {
+		t.Errorf("route predicates wrong for %v", rc.Path)
+	}
+}
+
+func TestGraphRoutesPickCheaperDetour(t *testing.T) {
+	g := chainGraph()
+	// A direct A-C link that is more expensive than the two-hop path
+	// must lose; a cheaper one must win.
+	g.Links = append(g.Links, Link{A: "siteA", B: "siteC", Alpha: 9e-4})
+	routes, _ := g.Routes()
+	if got := routes["siteC"].Hops(); got != 2 {
+		t.Errorf("expensive shortcut taken: %v", routes["siteC"].Path)
+	}
+	g.Links[len(g.Links)-1].Alpha = 1e-5
+	routes, _ = g.Routes()
+	if got := routes["siteC"].Hops(); got != 1 {
+		t.Errorf("cheap shortcut ignored: %v", routes["siteC"].Path)
+	}
+}
+
+func TestGraphRoutesDeterministicTieBreak(t *testing.T) {
+	// Two equal-cost paths root->x->dst and root->y->dst: the
+	// lexicographically smaller path must win, every time.
+	g := Graph{
+		Name: "diamond",
+		Nodes: []Node{
+			{Name: "root", Machines: []Machine{{Name: "r", CPUs: 1, Beta: 0.01}}},
+			{Name: "x"}, {Name: "y"},
+			{Name: "dst", Machines: []Machine{{Name: "d", CPUs: 1, Beta: 0.01}}},
+		},
+		Links: []Link{
+			{A: "root", B: "y", Alpha: 1e-4},
+			{A: "root", B: "x", Alpha: 1e-4},
+			{A: "y", B: "dst", Alpha: 1e-4},
+			{A: "x", B: "dst", Alpha: 1e-4},
+		},
+		Root: "r",
+	}
+	for i := 0; i < 20; i++ {
+		routes, err := g.Routes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := routes["dst"].Path
+		if len(p) != 3 || p[1] != "x" {
+			t.Fatalf("run %d: tie broke to %v, want via x", i, p)
+		}
+	}
+}
+
+func TestGraphFlatten(t *testing.T) {
+	g := chainGraph()
+	p, err := g.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Root != "rootm" || p.Machines[0].Name != "rootm" {
+		t.Errorf("root machine not first: %+v", p.Machines)
+	}
+	mb, _ := p.Machine("mb")
+	if math.Abs(mb.Alpha-(1e-5+1e-4)) > 1e-12 {
+		t.Errorf("mb effective alpha = %g, want attachment+route", mb.Alpha)
+	}
+	if math.Abs(mb.CommLatency-1e-3) > 1e-12 {
+		t.Errorf("mb effective latency = %g, want 1e-3", mb.CommLatency)
+	}
+	mc, _ := p.Machine("mc")
+	if math.Abs(mc.Alpha-(2e-5+3e-4)) > 1e-12 {
+		t.Errorf("mc effective alpha = %g", mc.Alpha)
+	}
+	if mc.Site != "siteC" {
+		t.Errorf("mc site = %q, want its node", mc.Site)
+	}
+	// Unreachable machine-bearing node is an error; an unreachable
+	// bare transit node is not.
+	g2 := chainGraph()
+	g2.Links = g2.Links[:1]
+	if _, err := g2.Flatten(); err == nil {
+		t.Error("flatten accepted unreachable machines")
+	}
+	g3 := chainGraph()
+	g3.Nodes = append(g3.Nodes, Node{Name: "island"})
+	if _, err := g3.Flatten(); err != nil {
+		t.Errorf("bare unreachable transit node rejected: %v", err)
+	}
+}
+
+func TestGraphProcessorNodes(t *testing.T) {
+	g := chainGraph()
+	nodes, err := g.ProcessorNodes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ranks: mb, mc#1, mc#2, then the root CPU last on siteA.
+	want := []string{"siteB", "siteC", "siteC", "siteA"}
+	if len(nodes) != len(want) {
+		t.Fatalf("nodes = %v, want %v", nodes, want)
+	}
+	for i := range want {
+		if nodes[i] != want[i] {
+			t.Fatalf("nodes = %v, want %v", nodes, want)
+		}
+	}
+	p, _ := g.Flatten()
+	procs, err := p.Processors()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(procs) != len(nodes) {
+		t.Fatalf("%d procs but %d rank nodes", len(procs), len(nodes))
+	}
+}
+
+func TestGraphRankAdjacency(t *testing.T) {
+	g := chainGraph()
+	nodes, _ := g.ProcessorNodes() // [siteB siteC siteC siteA]
+	adj := g.RankAdjacency(nodes)
+	has := func(i, j int) bool {
+		for _, nb := range adj[i] {
+			if nb == j {
+				return true
+			}
+		}
+		return false
+	}
+	// Same node: the two mc CPUs are adjacent.
+	if !has(1, 2) || !has(2, 1) {
+		t.Error("co-located ranks not adjacent")
+	}
+	// Linked nodes: siteB-siteC and siteA-siteB.
+	if !has(0, 1) || !has(0, 3) {
+		t.Error("linked-site ranks not adjacent")
+	}
+	// Unlinked nodes: siteA and siteC are two hops apart.
+	if has(1, 3) || has(3, 2) {
+		t.Error("two-hop ranks adjacent")
+	}
+}
+
+func TestRandomGraphGeneratesSolvablePlatforms(t *testing.T) {
+	for _, sites := range []int{1, 2, 4, 8} {
+		rng := rand.New(rand.NewSource(int64(100 + sites)))
+		g := RandomGraph(rng, sites)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("sites=%d: %v", sites, err)
+		}
+		p, err := g.Flatten()
+		if err != nil {
+			t.Fatalf("sites=%d: %v", sites, err)
+		}
+		procs, err := p.Processors()
+		if err != nil {
+			t.Fatalf("sites=%d: %v", sites, err)
+		}
+		nodes, err := g.ProcessorNodes()
+		if err != nil || len(nodes) != len(procs) {
+			t.Fatalf("sites=%d: rank nodes mismatch (%v)", sites, err)
+		}
+		// Determinism: same seed, same graph.
+		g2 := RandomGraph(rand.New(rand.NewSource(int64(100+sites))), sites)
+		if len(g2.Links) != len(g.Links) || g2.Name != g.Name {
+			t.Errorf("sites=%d: RandomGraph not deterministic", sites)
+		}
+	}
+}
+
+func TestTwoSiteGraphMatchesStarShape(t *testing.T) {
+	g := TwoSiteGraph(rand.New(rand.NewSource(7)), 3, 2)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := g.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range p.Machines {
+		if m.Site == "remote" {
+			// Remote machines pay the WAN link on top of their LAN
+			// attachment.
+			if m.Alpha <= 1e-5 {
+				t.Errorf("remote machine %s alpha = %g, missing WAN cost", m.Name, m.Alpha)
+			}
+			if m.CommLatency < 5e-3 {
+				t.Errorf("remote machine %s latency = %g, missing WAN latency", m.Name, m.CommLatency)
+			}
+		}
+	}
+}

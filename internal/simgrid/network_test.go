@@ -1,0 +1,313 @@
+package simgrid
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/platform"
+)
+
+// netChain builds siteA - siteB - siteC with the root on siteA, one
+// rank on siteB and one on siteC, and unit-friendly link costs.
+func netChain() platform.Graph {
+	return platform.Graph{
+		Name: "netchain",
+		Nodes: []platform.Node{
+			{Name: "siteA", Machines: []platform.Machine{{Name: "rootm", CPUs: 1, Beta: 0.01}}},
+			{Name: "siteB", Machines: []platform.Machine{{Name: "mb", CPUs: 1, Beta: 0.01, Alpha: 1e-5}}},
+			{Name: "siteC", Machines: []platform.Machine{{Name: "mc", CPUs: 1, Beta: 0.01, Alpha: 1e-5}}},
+		},
+		Links: []platform.Link{
+			{A: "siteA", B: "siteB", Alpha: 0.01, Latency: 0.5, Capacity: 1},
+			{A: "siteB", B: "siteC", Alpha: 0.01, Latency: 0.5, Capacity: 1},
+		},
+		Root: "rootm",
+	}
+}
+
+func TestSimulateNetworkNoContention(t *testing.T) {
+	g := netChain()
+	res, err := SimulateNetwork(NetworkConfig{
+		Graph: g,
+		Flows: []Flow{{From: "siteA", To: "siteC", Items: 100}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two hops: latency 1.0 total, alpha 0.02/item over 100 items = 2.0.
+	want := 3.0
+	if math.Abs(res[0].End-want) > 1e-9 || res[0].AcquiredAt != 0 || res[0].Hops != 2 {
+		t.Errorf("flow = %+v, want end %g at hops 2", res[0], want)
+	}
+	// Co-located endpoints: no links, instant latency-free transfer.
+	res, err = SimulateNetwork(NetworkConfig{
+		Graph: g,
+		Flows: []Flow{{From: "siteA", To: "siteA", Items: 5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].End != 0 || res[0].Hops != 0 {
+		t.Errorf("co-located flow = %+v", res[0])
+	}
+}
+
+func TestSimulateNetworkContention(t *testing.T) {
+	g := netChain()
+	// Both flows need the capacity-1 A-B link: the second queues until
+	// the first completes.
+	res, err := SimulateNetwork(NetworkConfig{
+		Graph: g,
+		Flows: []Flow{
+			{From: "siteA", To: "siteB", Items: 100}, // 0.5 + 1.0 = 1.5
+			{From: "siteA", To: "siteB", Items: 50},  // 0.5 + 0.5 = 1.0
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].AcquiredAt != 0 || math.Abs(res[0].End-1.5) > 1e-9 {
+		t.Errorf("first flow = %+v", res[0])
+	}
+	if math.Abs(res[1].AcquiredAt-1.5) > 1e-9 || math.Abs(res[1].End-2.5) > 1e-9 {
+		t.Errorf("queued flow = %+v, want acquire 1.5 end 2.5", res[1])
+	}
+	// Raising the capacity removes the queueing.
+	g.Links[0].Capacity = 2
+	res, err = SimulateNetwork(NetworkConfig{Graph: g, Flows: []Flow{
+		{From: "siteA", To: "siteB", Items: 100},
+		{From: "siteA", To: "siteB", Items: 50},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[1].AcquiredAt != 0 || math.Abs(res[1].End-1.0) > 1e-9 {
+		t.Errorf("parallel flow = %+v, want acquire 0 end 1.0", res[1])
+	}
+}
+
+func TestSimulateNetworkMultiHopHoldsBothLinks(t *testing.T) {
+	g := netChain()
+	// A long A->C flow holds both links; an A->B flow queues behind it
+	// even though only the first link is shared.
+	res, err := SimulateNetwork(NetworkConfig{
+		Graph: g,
+		Flows: []Flow{
+			{From: "siteA", To: "siteC", Items: 100}, // ends at 3.0
+			{From: "siteB", To: "siteC", Items: 50},  // shares B-C
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res[1].AcquiredAt-3.0) > 1e-9 {
+		t.Errorf("B->C flow acquired at %g, want 3.0 (behind the circuit)", res[1].AcquiredAt)
+	}
+}
+
+func TestSimulateNetworkDegradeAndFlapWindows(t *testing.T) {
+	g := netChain()
+	faults := []fault.NetFault{{
+		Kind: fault.LinkDegrade, EdgeA: "siteA", EdgeB: "siteB",
+		Start: 0, End: 10, Factor: 2,
+	}}
+	lw, err := NetFaultWindows(g, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SimulateNetwork(NetworkConfig{
+		Graph: g, LinkWindows: lw,
+		Flows: []Flow{{From: "siteA", To: "siteB", Items: 100}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The whole 1.5s transfer runs at half rate inside the window.
+	if math.Abs(res[0].End-3.0) > 1e-9 {
+		t.Errorf("degraded flow end = %g, want 3.0", res[0].End)
+	}
+
+	// A flap that is down for [0, 1) stalls the flow until the link
+	// comes back.
+	flap := []fault.NetFault{{
+		Kind: fault.LinkFlap, EdgeA: "siteA", EdgeB: "siteB",
+		Start: 0, End: 2, Period: 2, Duty: 0.5,
+	}}
+	lw, err = NetFaultWindows(g, flap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = SimulateNetwork(NetworkConfig{
+		Graph: g, LinkWindows: lw,
+		Flows: []Flow{{From: "siteA", To: "siteB", Items: 100}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res[0].End-2.5) > 1e-9 {
+		t.Errorf("flapped flow end = %g, want 2.5 (1.0 down + 1.5 work)", res[0].End)
+	}
+}
+
+func TestSimulateNetworkPartitionStallsAndPermanentDownIsInf(t *testing.T) {
+	g := netChain()
+	lw, err := NetFaultWindows(g, []fault.NetFault{{
+		Kind: fault.Partition, Site: "siteB", Start: 0, End: 4,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both links touch siteB, so both are down until the heal at t=4.
+	res, err := SimulateNetwork(NetworkConfig{
+		Graph: g, LinkWindows: lw,
+		Flows: []Flow{{From: "siteA", To: "siteC", Items: 100}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res[0].End-7.0) > 1e-9 {
+		t.Errorf("partitioned flow end = %g, want 7.0 (heal at 4 + 3.0 work)", res[0].End)
+	}
+	// A permanent outage never completes, and queued flows behind it
+	// are stuck too.
+	res, err = SimulateNetwork(NetworkConfig{
+		Graph: g,
+		LinkWindows: map[string][]RateWindow{
+			LinkKey("siteA", "siteB"): {{Start: 0, End: inf(), Factor: 0}},
+		},
+		Flows: []Flow{
+			{From: "siteA", To: "siteB", Items: 1},
+			{From: "siteA", To: "siteB", Items: 1, Start: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(res[0].End, 1) || !math.IsInf(res[1].End, 1) {
+		t.Errorf("permanent outage ends = %g, %g; want +Inf", res[0].End, res[1].End)
+	}
+}
+
+func TestScatterFlows(t *testing.T) {
+	g := netChain()
+	nodes, err := g.ProcessorNodes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, err := ScatterFlows(g, nodes, []int{10, 20, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 2 || flows[0].From != "siteA" || flows[0].To != "siteB" || flows[1].Items != 20 {
+		t.Errorf("flows = %+v", flows)
+	}
+	if _, err := ScatterFlows(g, nodes, []int{1}); err == nil {
+		t.Error("mismatched dist accepted")
+	}
+}
+
+func TestBuildNetPlanLinkFaultsFollowRoutes(t *testing.T) {
+	g := netChain()
+	nodes, _ := g.ProcessorNodes() // [siteB siteC siteA]: mb=0, mc=1, root=2
+	np, err := BuildNetPlan(g, nodes, []fault.NetFault{{
+		Kind: fault.LinkDegrade, EdgeA: "siteB", EdgeB: "siteC",
+		Start: 0, End: 10, Factor: 4,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Routes crossing B-C: root(A)->mc(C) and mb(B)->mc(C).
+	if got := np.Slowdown(2, 1, 5); got != 4 {
+		t.Errorf("root->mc slowdown = %g, want 4", got)
+	}
+	if got := np.Slowdown(0, 1, 5); got != 4 {
+		t.Errorf("mb->mc slowdown = %g, want 4", got)
+	}
+	// root(A)->mb(B) does not cross B-C.
+	if got := np.Slowdown(2, 0, 5); got != 1 {
+		t.Errorf("root->mb slowdown = %g, want 1", got)
+	}
+	// Outside the window everything is clean.
+	if got := np.Slowdown(2, 1, 11); got != 1 {
+		t.Errorf("post-window slowdown = %g, want 1", got)
+	}
+
+	// A flap on A-B cuts the pairs routed over it, periodically.
+	np, err = BuildNetPlan(g, nodes, []fault.NetFault{{
+		Kind: fault.LinkFlap, EdgeA: "siteA", EdgeB: "siteB",
+		Start: 0, End: 4, Period: 2, Duty: 0.5,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if np.Reachable(2, 0, 0.5) || !np.Reachable(2, 0, 1.5) || np.Reachable(2, 0, 2.5) {
+		t.Error("flap cut windows wrong for root->mb")
+	}
+	if np.Reachable(2, 1, 0.5) {
+		t.Error("root->mc unaffected by flap on its route")
+	}
+	if !np.Reachable(0, 1, 0.5) {
+		t.Error("mb->mc cut by a flap off its route")
+	}
+}
+
+func TestBuildNetPlanPartitionCutsTransit(t *testing.T) {
+	g := netChain()
+	nodes, _ := g.ProcessorNodes() // mb=0, mc=1, root=2
+	np, err := BuildNetPlan(g, nodes, []fault.NetFault{{
+		Kind: fault.Partition, Site: "siteB", Start: 1, End: 5,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// siteB is cut off from everyone...
+	if np.Reachable(2, 0, 2) || np.Reachable(1, 0, 2) {
+		t.Error("partitioned site still reachable")
+	}
+	// ...and siteA-siteC, routed through siteB, is cut transitively.
+	if np.Reachable(2, 1, 2) {
+		t.Error("transit route through partitioned site survived")
+	}
+	// Before and after the window the pairs heal.
+	if !np.Reachable(2, 1, 0.5) || !np.Reachable(2, 0, 5) {
+		t.Error("partition active outside its window")
+	}
+	if !np.Healed(5) {
+		t.Error("plan not healed after the window")
+	}
+
+	// Co-located ranks never get cut: add a second rank on siteB.
+	g2 := netChain()
+	g2.Nodes[1].Machines[0].CPUs = 2
+	nodes2, _ := g2.ProcessorNodes() // [siteB siteB siteC siteA]
+	np2, err := BuildNetPlan(g2, nodes2, []fault.NetFault{{
+		Kind: fault.Partition, Site: "siteB", Start: 1, End: 5,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !np2.Reachable(0, 1, 2) {
+		t.Error("co-located ranks cut by their own site's partition")
+	}
+}
+
+func TestBuildNetPlanEmptyAndInvalid(t *testing.T) {
+	g := netChain()
+	nodes, _ := g.ProcessorNodes()
+	np, err := BuildNetPlan(g, nodes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if np.HasFaults() {
+		t.Error("empty fault list produced a non-empty plan")
+	}
+	if _, err := BuildNetPlan(g, nodes, []fault.NetFault{{Kind: fault.Partition}}); err == nil {
+		t.Error("invalid fault accepted")
+	}
+	if _, err := BuildNetPlan(g, []string{"siteA", ""}, []fault.NetFault{{
+		Kind: fault.Partition, Site: "siteB", Start: 0, End: 1,
+	}}); err == nil {
+		t.Error("empty rank node accepted")
+	}
+}

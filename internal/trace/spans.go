@@ -23,9 +23,12 @@ const (
 )
 
 // isRebalance reports whether a comm span belongs to a recovery round:
-// a rebalance over survivors, or a resume by a promoted root.
+// a rebalance over survivors, a resume by a promoted root, or a
+// degraded-mode diffusion round.
 func isRebalance(s mpi.Span) bool {
-	return strings.HasPrefix(s.Label, "rebalance") || strings.HasPrefix(s.Label, "resume")
+	return strings.HasPrefix(s.Label, "rebalance") ||
+		strings.HasPrefix(s.Label, "resume") ||
+		strings.HasPrefix(s.Label, "diffuse")
 }
 
 // spanChar maps a span to its ASCII Gantt cell. Plain idle renders as
@@ -105,7 +108,7 @@ func RankGantt(stats []mpi.RankStats, width int) string {
 		fmt.Fprintf(&sb, "%-*s |%s|\n", nameW, s.Name, row)
 	}
 	fmt.Fprintf(&sb, "%-*s  0%*s\n", nameW, "", width, fmt.Sprintf("%.1fs", makespan))
-	sb.WriteString("legend: = comm  R rebalance/resume  # comp  ! timeout  ~ backoff  F failover  x crashed  . idle\n")
+	sb.WriteString("legend: = comm  R rebalance/resume/diffuse  # comp  ! timeout  ~ backoff  F failover  x crashed  . idle\n")
 	return sb.String()
 }
 
