@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-fault bench-recovery bench-solver bench-degraded bench-lint figures fmt lint check ci
+.PHONY: all build vet test race bench bench-fault bench-recovery bench-solver bench-degraded bench-lint figures fmt lint lint-vet ci-lint check ci
 
 all: build
 
@@ -43,7 +43,8 @@ bench-degraded:
 
 # Regenerate BENCH_lint.json (scatterlint runtime over this module:
 # loader, the five syntactic analyzers, the three dataflow analyzers,
-# and the generated synthetic fixture).
+# the three SSA analyzers, the generated synthetic fixture, and the
+# incremental cache cold vs. warm after a one-package edit).
 bench-lint:
 	$(GO) test -run '^$$' -bench BenchmarkLint -benchtime 1x .
 
@@ -65,16 +66,32 @@ bin/scatterlint: $(wildcard cmd/scatterlint/*.go internal/lint/*.go)
 	$(GO) build -o $@ ./cmd/scatterlint
 
 # Run the domain-invariant analyzers (internal/lint) over the whole
-# module through the standard vet driver. Suppress a finding with
+# module, test files included, through the incremental content-hashed
+# cache under bin/lintcache: a warm run after touching one package
+# re-analyzes only that package and its reverse dependencies.
+# Suppress a finding with
 #   //scatterlint:ignore <analyzer> <reason>
 lint: bin/scatterlint
-	$(GO) vet -vettool=$(CURDIR)/bin/scatterlint ./...
+	./bin/scatterlint ./...
 	@out=$$(gofmt -l internal/lint/testdata/*.go); \
 	if [ -n "$$out" ]; then \
 		echo "fixture generators need gofmt:"; echo "$$out"; exit 1; \
 	fi
 
+# The same suite through the standard vet driver (the unitchecker
+# protocol go vet speaks); slower, kept for parity debugging.
+lint-vet: bin/scatterlint
+	$(GO) vet -vettool=$(CURDIR)/bin/scatterlint ./...
+
+# Cache-coherence gate: run scatterlint twice from an empty cache —
+# cold, then fully warm — and fail if the findings differ by a byte.
+ci-lint: bin/scatterlint
+	rm -rf bin/lintcache
+	./bin/scatterlint -json ./... > bin/lint-cold.json
+	./bin/scatterlint -json ./... > bin/lint-warm.json
+	cmp bin/lint-cold.json bin/lint-warm.json
+
 # Umbrella gate: everything CI enforces, in one target.
 check: build vet lint race
 
-ci: fmt check
+ci: fmt check ci-lint

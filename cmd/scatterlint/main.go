@@ -39,6 +39,8 @@ func main() {
 	writeBaseline := flag.String("writebaseline", "", "write current findings to this baseline file and exit (standalone mode)")
 	ignoreAudit := flag.Bool("ignoreaudit", false, "report stale scatterlint:ignore directives instead of findings (standalone mode)")
 	tests := flag.Bool("tests", true, "include _test.go files in standalone mode (matches go vet coverage)")
+	cacheDir := flag.String("cachedir", "bin/lintcache", "directory for the incremental analysis cache (standalone mode)")
+	noCache := flag.Bool("nocache", false, "disable the incremental analysis cache (standalone mode)")
 	printflags := flag.Bool("flags", false, "print analyzer flags in JSON (for go vet)")
 	flag.Int("c", -1, "display offending line with this many lines of context (ignored)")
 	flag.Var(versionFlag{}, "V", "print version and exit (for go vet)")
@@ -84,6 +86,8 @@ Usage:
 		writeBaseline: *writeBaseline,
 		ignoreAudit:   *ignoreAudit,
 		tests:         *tests,
+		cacheDir:      *cacheDir,
+		noCache:       *noCache,
 	}))
 }
 
@@ -94,6 +98,8 @@ type options struct {
 	writeBaseline string
 	ignoreAudit   bool
 	tests         bool
+	cacheDir      string
+	noCache       bool
 }
 
 // standalone loads the requested packages (./... by default) and runs
@@ -102,32 +108,26 @@ type options struct {
 func standalone(patterns []string, opt options) int {
 	loader := lint.NewLoader(".")
 	loader.IncludeTests = opt.tests
-	pkgs, err := loader.Load(patterns...)
+	var cache *lint.Cache
+	if !opt.noCache && opt.cacheDir != "" {
+		cache = &lint.Cache{Dir: opt.cacheDir}
+	}
+	findings, audits, _, err := lint.RunCachedAnalysis(loader, cache, lint.All(), patterns...)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	var findings []lint.Finding
 	var staleLines []string
-	for _, pkg := range pkgs {
-		diags, audits, err := lint.RunAnalyzersAudit(pkg, lint.All())
-		if err != nil {
-			log.Fatal(err)
-		}
-		for _, d := range diags {
-			findings = append(findings, lint.NewFinding(pkg.Fset, d))
-		}
-		for _, a := range audits {
-			switch {
-			case len(a.Unknown) > 0:
-				staleLines = append(staleLines, fmt.Sprintf(
-					"%s: directive names unknown analyzer(s) %s: fix the name or delete the directive",
-					pkg.Fset.Position(a.Pos), strings.Join(a.Unknown, ", ")))
-			case !a.Used:
-				staleLines = append(staleLines, fmt.Sprintf(
-					"%s: stale scatterlint:ignore [%s] (%q): it suppresses nothing; delete it",
-					pkg.Fset.Position(a.Pos), strings.Join(a.Analyzers, ","), a.Reason))
-			}
+	for _, a := range audits {
+		switch {
+		case len(a.Unknown) > 0:
+			staleLines = append(staleLines, fmt.Sprintf(
+				"%s:%d:%d: directive names unknown analyzer(s) %s: fix the name or delete the directive",
+				a.File, a.Line, a.Col, strings.Join(a.Unknown, ", ")))
+		case !a.Used:
+			staleLines = append(staleLines, fmt.Sprintf(
+				"%s:%d:%d: stale scatterlint:ignore [%s] (%q): it suppresses nothing; delete it",
+				a.File, a.Line, a.Col, strings.Join(a.Analyzers, ","), a.Reason))
 		}
 	}
 

@@ -270,6 +270,7 @@ func (l *Ledger) VerifyExactlyOnce(n int) error {
 	var all []Range
 	total := 0
 	for _, held := range l.holdings {
+		//scatterlint:ignore detorder CoalesceRanges sorts by Lo before merging, so map iteration order never reaches a caller
 		all = append(all, held...)
 		total += RangeLen(held)
 	}

@@ -8,8 +8,11 @@ func All() []*Analyzer {
 	return []*Analyzer{
 		MPIErrCheck,
 		CollectiveOrder,
+		CollectiveDeadlock,
+		GoroLeak,
 		SimClock,
 		CostInvariant,
+		BandCheck,
 		MutexChan,
 		PoolAlias,
 		DetOrder,

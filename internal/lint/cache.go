@@ -1,0 +1,444 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// cacheSchemaVersion invalidates every entry when the analyzer
+// machinery changes in a way the suite fingerprint cannot see (a bug
+// fix inside an analyzer, a new fact layer). Bump it whenever analysis
+// semantics change.
+const cacheSchemaVersion = "scatterlint-cache-v1"
+
+// An AuditRecord is a DirectiveAudit with its position resolved to
+// file/line/column, so it survives serialization: token.Pos values are
+// only meaningful against the FileSet that produced them.
+type AuditRecord struct {
+	File      string   `json:"file"`
+	Line      int      `json:"line"`
+	Col       int      `json:"col"`
+	Analyzers []string `json:"analyzers"`
+	Reason    string   `json:"reason"`
+	Used      bool     `json:"used"`
+	Unknown   []string `json:"unknown,omitempty"`
+}
+
+// NewAuditRecord resolves a DirectiveAudit against its FileSet.
+func NewAuditRecord(fset *token.FileSet, a DirectiveAudit) AuditRecord {
+	pos := fset.Position(a.Pos)
+	return AuditRecord{
+		File:      relToWd(pos.Filename),
+		Line:      pos.Line,
+		Col:       pos.Column,
+		Analyzers: a.Analyzers,
+		Reason:    a.Reason,
+		Used:      a.Used,
+		Unknown:   a.Unknown,
+	}
+}
+
+// A Cache is a content-addressed store of per-package analysis
+// results. Keys hash the unit's source files, the summaries of its
+// module-internal dependencies, the analyzer suite and the toolchain,
+// so any edit invalidates exactly the edited package and its reverse
+// dependencies.
+type Cache struct {
+	// Dir is the directory entries live in; created on first write.
+	Dir string
+}
+
+// CacheStats reports how a cached run split between hits and misses.
+type CacheStats struct {
+	Units  int
+	Hits   int
+	Misses int
+}
+
+// cacheEntry is the stored result of analyzing one unit.
+type cacheEntry struct {
+	Unit     string        `json:"unit"`
+	Findings []Finding     `json:"findings"`
+	Audits   []AuditRecord `json:"audits"`
+}
+
+// cacheUnit is one analyzable unit (a package, or its external test
+// package suffixed " [xtest]") with its content-derived key.
+type cacheUnit struct {
+	path    string // unit path as Load reports it
+	pkgPath string // base import path usable as a go list pattern
+	key     string
+}
+
+// load returns the stored entry for the unit, or nil on any miss:
+// absent file, unreadable JSON, or a unit-path mismatch (which would
+// mean a hash collision and is treated as corruption).
+func (c *Cache) load(u cacheUnit) *cacheEntry {
+	data, err := os.ReadFile(filepath.Join(c.Dir, u.key+".json"))
+	if err != nil {
+		return nil
+	}
+	e := new(cacheEntry)
+	if err := json.Unmarshal(data, e); err != nil || e.Unit != u.path {
+		return nil
+	}
+	return e
+}
+
+// store writes the entry atomically (temp file + rename) so a
+// concurrent or interrupted run never leaves a torn entry.
+func (c *Cache) store(u cacheUnit, e *cacheEntry) error {
+	if err := os.MkdirAll(c.Dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(c.Dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return os.Rename(name, filepath.Join(c.Dir, u.key+".json"))
+}
+
+// RunCachedAnalysis runs the analyzer suite over the packages matching
+// the patterns, consulting the cache per unit. Hits are returned
+// as-stored; misses are loaded (with export data, so only the miss set
+// pays for compilation), analyzed and stored. With a nil cache every
+// unit is analyzed fresh through the identical conversion path, so
+// cached and uncached runs produce bit-identical findings and audits.
+func RunCachedAnalysis(l *Loader, c *Cache, analyzers []*Analyzer, patterns ...string) ([]Finding, []AuditRecord, CacheStats, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var stats CacheStats
+
+	if c == nil {
+		pkgs, err := l.Load(patterns...)
+		if err != nil {
+			return nil, nil, stats, err
+		}
+		var findings []Finding
+		var audits []AuditRecord
+		for _, pkg := range pkgs {
+			e, err := analyzeUnit(pkg, analyzers)
+			if err != nil {
+				return nil, nil, stats, err
+			}
+			findings = append(findings, e.Findings...)
+			audits = append(audits, e.Audits...)
+		}
+		stats.Units, stats.Misses = len(pkgs), len(pkgs)
+		return findings, audits, stats, nil
+	}
+
+	units, err := computeUnitKeys(l, analyzers, patterns)
+	if err != nil {
+		return nil, nil, stats, err
+	}
+	stats.Units = len(units)
+
+	results := make(map[string]*cacheEntry, len(units))
+	unitByPath := make(map[string]cacheUnit, len(units))
+	missPkgs := make(map[string]bool)
+	for _, u := range units {
+		unitByPath[u.path] = u
+		if e := c.load(u); e != nil {
+			results[u.path] = e
+			stats.Hits++
+			continue
+		}
+		stats.Misses++
+		missPkgs[u.pkgPath] = true
+	}
+
+	if len(missPkgs) > 0 {
+		patterns := make([]string, 0, len(missPkgs))
+		for p := range missPkgs {
+			patterns = append(patterns, p)
+		}
+		sort.Strings(patterns)
+		pkgs, err := l.Load(patterns...)
+		if err != nil {
+			return nil, nil, stats, err
+		}
+		for _, pkg := range pkgs {
+			u, known := unitByPath[pkg.Path]
+			if !known {
+				continue // a pattern matched wider than the keyed set
+			}
+			if _, done := results[pkg.Path]; done {
+				continue // sibling unit of a miss that itself hit
+			}
+			e, err := analyzeUnit(pkg, analyzers)
+			if err != nil {
+				return nil, nil, stats, err
+			}
+			if err := c.store(u, e); err != nil {
+				return nil, nil, stats, fmt.Errorf("lint: writing cache entry for %s: %v", u.path, err)
+			}
+			results[pkg.Path] = e
+		}
+	}
+
+	var findings []Finding
+	var audits []AuditRecord
+	for _, u := range units {
+		e := results[u.path]
+		if e == nil {
+			return nil, nil, stats, fmt.Errorf("lint: no analysis result for unit %s", u.path)
+		}
+		findings = append(findings, e.Findings...)
+		audits = append(audits, e.Audits...)
+	}
+	return findings, audits, stats, nil
+}
+
+// analyzeUnit runs the suite over one loaded package and converts the
+// results to their serializable forms.
+func analyzeUnit(pkg *Package, analyzers []*Analyzer) (*cacheEntry, error) {
+	diags, dirAudits, err := RunAnalyzersAudit(pkg, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	e := &cacheEntry{Unit: pkg.Path, Findings: []Finding{}, Audits: []AuditRecord{}}
+	for _, d := range diags {
+		e.Findings = append(e.Findings, NewFinding(pkg.Fset, d))
+	}
+	for _, a := range dirAudits {
+		e.Audits = append(e.Audits, NewAuditRecord(pkg.Fset, a))
+	}
+	return e, nil
+}
+
+// suiteFingerprint folds the analyzer roster (names and docs), the
+// cache schema version and the toolchain into one string, so changing
+// any of them invalidates every entry.
+func suiteFingerprint(analyzers []*Analyzer) string {
+	h := sha256.New()
+	io.WriteString(h, cacheSchemaVersion)
+	io.WriteString(h, "\x00")
+	io.WriteString(h, runtime.Version())
+	for _, a := range analyzers {
+		fmt.Fprintf(h, "\x00%s\x01%s", a.Name, a.Doc)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// computeUnitKeys lists the patterns WITHOUT export data (no
+// compilation: this is the entire toolchain cost of a fully-warm run)
+// and derives a content key per unit.
+func computeUnitKeys(l *Loader, analyzers []*Analyzer, patterns []string) ([]cacheUnit, error) {
+	recs, err := l.listPackages(false, false, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	byPath := make(map[string]*listedPackage, len(recs))
+	modPath := ""
+	for _, r := range recs {
+		byPath[r.ImportPath] = r
+		if r.Module != nil && modPath == "" {
+			modPath = r.Module.Path
+		}
+	}
+
+	// The listing skips -deps (standard-library records contribute only
+	// their path to a key), so narrow patterns can leave module-internal
+	// imports without records; resolve those with one -deps listing,
+	// which closes their own import chains too.
+	var unresolved []string
+	seen := make(map[string]bool)
+	isTarget := func(r *listedPackage) bool {
+		return !r.Standard && !r.DepOnly && r.Module != nil && len(r.GoFiles) > 0
+	}
+	if modPath != "" {
+		for _, r := range recs {
+			if !isTarget(r) {
+				continue
+			}
+			imps := append([]string(nil), r.Imports...)
+			if l.IncludeTests {
+				imps = append(append(imps, r.TestImports...), r.XTestImports...)
+			}
+			for _, imp := range imps {
+				if byPath[imp] == nil && !seen[imp] &&
+					(imp == modPath || strings.HasPrefix(imp, modPath+"/")) {
+					seen[imp] = true
+					unresolved = append(unresolved, imp)
+				}
+			}
+		}
+	}
+	if len(unresolved) > 0 {
+		sort.Strings(unresolved)
+		extra, err := l.listPackages(false, true, unresolved...)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range extra {
+			if byPath[r.ImportPath] == nil {
+				byPath[r.ImportPath] = r
+			}
+		}
+	}
+
+	fileHashes := make(map[string]string)
+	hashFile := func(dir, name string) (string, error) {
+		full := filepath.Join(dir, name)
+		if h, ok := fileHashes[full]; ok {
+			return h, nil
+		}
+		data, err := os.ReadFile(full)
+		if err != nil {
+			return "", fmt.Errorf("lint: hashing %s: %v", full, err)
+		}
+		sum := fmt.Sprintf("%x", sha256.Sum256(data))
+		fileHashes[full] = sum
+		return sum, nil
+	}
+
+	// libKey summarizes a package as seen by its importers: its own
+	// non-test sources plus, recursively, its module-internal imports.
+	// External and standard-library packages contribute only their
+	// import path — the toolchain version in the suite fingerprint
+	// covers their drift. Import cycles are impossible in Go, so the
+	// recursion terminates.
+	libKeys := make(map[string]string)
+	var libKey func(path string) (string, error)
+	libKey = func(path string) (string, error) {
+		if k, ok := libKeys[path]; ok {
+			return k, nil
+		}
+		r := byPath[path]
+		if r == nil || r.Standard || r.Module == nil {
+			k := "ext:" + path
+			libKeys[path] = k
+			return k, nil
+		}
+		h := sha256.New()
+		fmt.Fprintf(h, "lib\x00%s", path)
+		files := append([]string(nil), r.GoFiles...)
+		sort.Strings(files)
+		for _, f := range files {
+			sum, err := hashFile(r.Dir, f)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(h, "\x00%s\x01%s", f, sum)
+		}
+		imps := append([]string(nil), r.Imports...)
+		sort.Strings(imps)
+		for _, imp := range imps {
+			k, err := libKey(imp)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(h, "\x00%s", k)
+		}
+		k := fmt.Sprintf("%x", h.Sum(nil))
+		libKeys[path] = k
+		return k, nil
+	}
+
+	fp := suiteFingerprint(analyzers)
+	newKey := func(unitPath string, parts ...string) string {
+		h := sha256.New()
+		fmt.Fprintf(h, "%s\x00unit\x00%s", fp, unitPath)
+		for _, p := range parts {
+			fmt.Fprintf(h, "\x00%s", p)
+		}
+		return fmt.Sprintf("%x", h.Sum(nil))
+	}
+	hashFiles := func(dir string, names []string) ([]string, error) {
+		sorted := append([]string(nil), names...)
+		sort.Strings(sorted)
+		var parts []string
+		for _, f := range sorted {
+			sum, err := hashFile(dir, f)
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, f+"\x01"+sum)
+		}
+		return parts, nil
+	}
+	keyImports := func(imps []string) ([]string, error) {
+		sorted := append([]string(nil), imps...)
+		sort.Strings(sorted)
+		var parts []string
+		for _, imp := range sorted {
+			k, err := libKey(imp)
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, k)
+		}
+		return parts, nil
+	}
+
+	var units []cacheUnit
+	for _, r := range recs {
+		if !isTarget(r) {
+			continue
+		}
+		base, err := libKey(r.ImportPath)
+		if err != nil {
+			return nil, err
+		}
+		parts := []string{base}
+		if l.IncludeTests {
+			fh, err := hashFiles(r.Dir, r.TestGoFiles)
+			if err != nil {
+				return nil, err
+			}
+			ik, err := keyImports(r.TestImports)
+			if err != nil {
+				return nil, err
+			}
+			parts = append(append(parts, fh...), ik...)
+		}
+		units = append(units, cacheUnit{
+			path:    r.ImportPath,
+			pkgPath: r.ImportPath,
+			key:     newKey(r.ImportPath, parts...),
+		})
+		if l.IncludeTests && len(r.XTestGoFiles) > 0 {
+			xpath := r.ImportPath + " [xtest]"
+			fh, err := hashFiles(r.Dir, r.XTestGoFiles)
+			if err != nil {
+				return nil, err
+			}
+			ik, err := keyImports(r.XTestImports)
+			if err != nil {
+				return nil, err
+			}
+			xparts := append(append([]string{base}, fh...), ik...)
+			units = append(units, cacheUnit{
+				path:    xpath,
+				pkgPath: r.ImportPath,
+				key:     newKey(xpath, xparts...),
+			})
+		}
+	}
+	sort.Slice(units, func(i, j int) bool { return units[i].path < units[j].path })
+	return units, nil
+}

@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// writeTestModule lays out a disposable module named repro (so the
+// scope-gated analyzers fire) with three packages: alpha (in goroleak
+// scope, carrying one real finding and one suppressed one), beta
+// (importing alpha, with an in-package test), and gamma (independent).
+func writeTestModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module repro\n\ngo 1.22\n",
+		"internal/chaos/alpha/alpha.go": `// Package alpha carries one goroutine leak and one suppressed one.
+package alpha
+
+// Leak parks a goroutine forever: the channel is local and nobody
+// closes or sends.
+func Leak() {
+	ch := make(chan int)
+	go func() {
+		<-ch
+	}()
+}
+
+// Excused is the same shape under a directive.
+func Excused() {
+	ch := make(chan int)
+	//scatterlint:ignore goroleak deliberate leak to exercise the audit path
+	go func() {
+		<-ch
+	}()
+}
+
+// N is imported by beta.
+const N = 3
+`,
+		"internal/beta/beta.go": `// Package beta depends on alpha.
+package beta
+
+import "repro/internal/chaos/alpha"
+
+// Total is N scaled.
+func Total() int { return alpha.N * 2 }
+`,
+		"internal/beta/beta_test.go": `package beta
+
+import "testing"
+
+func TestTotal(t *testing.T) {
+	if Total() != 6 {
+		t.Fatal("want 6")
+	}
+}
+`,
+		"internal/gamma/gamma.go": `// Package gamma depends on nothing.
+package gamma
+
+// Twice doubles.
+func Twice(x int) int { return x + x }
+`,
+	}
+	for name, content := range files {
+		full := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// runCached runs the full suite over the module with a fresh loader,
+// simulating a separate scatterlint process per invocation.
+func runCached(t *testing.T, dir string, cache *Cache) ([]Finding, []AuditRecord, CacheStats) {
+	t.Helper()
+	l := NewLoader(dir)
+	l.IncludeTests = true
+	findings, audits, stats, err := RunCachedAnalysis(l, cache, All(), "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return findings, audits, stats
+}
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestCacheColdWarmIdentical(t *testing.T) {
+	dir := writeTestModule(t)
+	cache := &Cache{Dir: filepath.Join(dir, "lintcache")}
+
+	coldF, coldA, coldStats := runCached(t, dir, cache)
+	if coldStats.Hits != 0 || coldStats.Misses != coldStats.Units || coldStats.Units < 3 {
+		t.Fatalf("cold stats = %+v, want all misses over >= 3 units", coldStats)
+	}
+	if len(coldF) != 1 || coldF[0].Analyzer != "goroleak" {
+		t.Fatalf("cold findings = %v, want exactly the alpha goroutine leak", coldF)
+	}
+	if len(coldA) != 1 || !coldA[0].Used {
+		t.Fatalf("cold audits = %v, want the one used directive", coldA)
+	}
+
+	warmF, warmA, warmStats := runCached(t, dir, cache)
+	if warmStats.Misses != 0 || warmStats.Hits != coldStats.Units {
+		t.Fatalf("warm stats = %+v, want all hits", warmStats)
+	}
+	if mustJSON(t, warmF) != mustJSON(t, coldF) {
+		t.Errorf("warm findings differ from cold:\ncold: %s\nwarm: %s", mustJSON(t, coldF), mustJSON(t, warmF))
+	}
+	if mustJSON(t, warmA) != mustJSON(t, coldA) {
+		t.Errorf("warm audits differ from cold:\ncold: %s\nwarm: %s", mustJSON(t, coldA), mustJSON(t, warmA))
+	}
+
+	// The uncached path must agree byte for byte too.
+	plainF, plainA, _ := runCached(t, dir, nil)
+	if mustJSON(t, plainF) != mustJSON(t, coldF) || mustJSON(t, plainA) != mustJSON(t, coldA) {
+		t.Error("uncached findings/audits differ from the cached runs")
+	}
+}
+
+func TestCacheInvalidationScope(t *testing.T) {
+	dir := writeTestModule(t)
+	cache := &Cache{Dir: filepath.Join(dir, "lintcache")}
+	_, _, cold := runCached(t, dir, cache)
+
+	// Editing alpha must invalidate alpha and its importer beta, but
+	// leave the independent gamma cached.
+	alphaFile := filepath.Join(dir, "internal/chaos/alpha/alpha.go")
+	src, err := os.ReadFile(alphaFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(alphaFile, append(src, []byte("\n// M doubles N.\nconst M = N * 2\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	editF, editA, editStats := runCached(t, dir, cache)
+	if editStats.Misses != 2 {
+		t.Errorf("after editing alpha: %d misses, want 2 (alpha and beta)", editStats.Misses)
+	}
+	if editStats.Hits != cold.Units-2 {
+		t.Errorf("after editing alpha: %d hits, want %d (gamma untouched)", editStats.Hits, cold.Units-2)
+	}
+
+	// The single-file edit preserves behavior, so a from-scratch run
+	// must emit the identical finding multiset.
+	freshF, freshA, _ := runCached(t, dir, nil)
+	if !reflect.DeepEqual(editF, freshF) || !reflect.DeepEqual(editA, freshA) {
+		t.Errorf("post-edit cached run differs from a fresh run:\ncached: %s / %s\nfresh: %s / %s",
+			mustJSON(t, editF), mustJSON(t, editA), mustJSON(t, freshF), mustJSON(t, freshA))
+	}
+
+	// Editing a test file must invalidate only its own unit.
+	betaTest := filepath.Join(dir, "internal/beta/beta_test.go")
+	tsrc, err := os.ReadFile(betaTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(betaTest, append(tsrc, []byte("\nfunc TestAgain(t *testing.T) { TestTotal(t) }\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, testStats := runCached(t, dir, cache)
+	if testStats.Misses != 1 {
+		t.Errorf("after editing beta's test: %d misses, want 1 (only beta's unit)", testStats.Misses)
+	}
+}

@@ -35,10 +35,27 @@ type CFG struct {
 	Exit   *Block
 	Blocks []*Block
 
+	// Branches records every two-way conditional the builder emitted:
+	// Cond is evaluated at the end of From, after which control moves
+	// to True or False. The SSA interval layer uses these edges to
+	// refine value ranges under dominating guards (`if g <= 0 { return
+	// }` proves g >= 1 below). Switches and selects are deliberately
+	// absent: their dispatch is n-way and the refinement layer treats
+	// them as unrefined joins.
+	Branches []CondEdge
+
 	// dom[b][a] reports whether block a dominates block b.
 	dom [][]bool
 	// reach[a][b] reports whether a nonempty path leads from a to b.
 	reach [][]bool
+}
+
+// A CondEdge is one two-way conditional branch of the CFG.
+type CondEdge struct {
+	Cond  ast.Expr
+	From  *Block
+	True  *Block
+	False *Block
 }
 
 // A ref addresses one node inside a CFG: the idx-th node of a block.
@@ -178,8 +195,10 @@ func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
 			b.cur = els
 			b.stmt(v.Else, "")
 			b.edge(b.cur, join)
+			b.g.Branches = append(b.g.Branches, CondEdge{Cond: v.Cond, From: cond, True: then, False: els})
 		} else {
 			b.edge(cond, join)
+			b.g.Branches = append(b.g.Branches, CondEdge{Cond: v.Cond, From: cond, True: then, False: join})
 		}
 		b.cur = join
 
@@ -197,6 +216,7 @@ func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
 		b.edge(head, body)
 		if v.Cond != nil {
 			b.edge(head, exit)
+			b.g.Branches = append(b.g.Branches, CondEdge{Cond: v.Cond, From: head, True: body, False: exit})
 		}
 		// continue runs the post statement (if any) before the header.
 		cont := head
@@ -361,6 +381,32 @@ func (b *cfgBuilder) target(label *ast.Ident, wantCont bool) *Block {
 		return c.brk
 	}
 	return nil
+}
+
+// ReachableFromEntry reports whether blk can execute at all. Blocks
+// the builder created as unreachable continuations (after return,
+// break, ...) keep vacuously-true dominator rows; path-sensitive
+// layers must skip them.
+func (g *CFG) ReachableFromEntry(blk *Block) bool {
+	return blk == g.Entry || g.reach[g.Entry.Index][blk.Index]
+}
+
+// soleReachablePred returns blk's only predecessor reachable from
+// Entry, or nil if there are zero or several. A conditional successor
+// with a sole reachable predecessor is edge-dominated by its branch:
+// every execution entering it just evaluated the condition.
+func (g *CFG) soleReachablePred(blk *Block) *Block {
+	var sole *Block
+	for _, p := range blk.Preds {
+		if !g.ReachableFromEntry(p) {
+			continue
+		}
+		if sole != nil && sole != p {
+			return nil
+		}
+		sole = p
+	}
+	return sole
 }
 
 // finalize fills predecessor edges and computes the dominator and

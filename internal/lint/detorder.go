@@ -42,6 +42,8 @@ var detOrderPkgPrefixes = []string{
 	"repro/internal/chaos",
 	"repro/internal/platform",
 	"repro/internal/simgrid",
+	"repro/internal/fault",
+	"repro/internal/monitor",
 }
 
 func inDetOrderScope(path string) bool {

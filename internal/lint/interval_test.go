@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/ast"
+	"testing"
+)
+
+func TestIntervalJoin(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b Interval
+		want Interval
+	}{
+		{"consts", ConstInterval(1), ConstInterval(5), Interval{Lo: 1, Hi: 5}},
+		{"overlap", Interval{Lo: -3, Hi: 0}, Interval{Lo: -1, Hi: 2}, Interval{Lo: -3, Hi: 2}},
+		{"empty-left", EmptyInterval(), ConstInterval(7), ConstInterval(7)},
+		{"empty-right", ConstInterval(7), EmptyInterval(), ConstInterval(7)},
+		{"top-absorbs", TopInterval(), ConstInterval(0), TopInterval()},
+		{"half-open", Interval{Lo: 0, HiInf: true}, ConstInterval(-2), Interval{Lo: -2, HiInf: true}},
+	}
+	for _, c := range cases {
+		if got := JoinInterval(c.a, c.b); got != c.want {
+			t.Errorf("%s: Join(%+v, %+v) = %+v, want %+v", c.name, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestIntervalMeet(t *testing.T) {
+	got := MeetInterval(Interval{Lo: 0, HiInf: true}, Interval{LoInf: true, Hi: 5})
+	if got != (Interval{Lo: 0, Hi: 5}) {
+		t.Errorf("Meet([0,inf), (-inf,5]) = %+v, want [0,5]", got)
+	}
+	if !MeetInterval(ConstInterval(1), ConstInterval(2)).Empty {
+		t.Error("Meet of disjoint constants must be empty")
+	}
+}
+
+func TestIntervalWiden(t *testing.T) {
+	// A growing upper bound widens to +inf; a stable bound is kept.
+	w := WidenInterval(Interval{Lo: 0, Hi: 1}, Interval{Lo: 0, Hi: 2})
+	if !w.HiInf || w.LoInf || w.Lo != 0 {
+		t.Errorf("widening a rising Hi = %+v, want [0,+inf)", w)
+	}
+	w = WidenInterval(Interval{Lo: 0, Hi: 9}, Interval{Lo: -1, Hi: 9})
+	if !w.LoInf || w.HiInf || w.Hi != 9 {
+		t.Errorf("widening a falling Lo = %+v, want (-inf,9]", w)
+	}
+	stable := Interval{Lo: 2, Hi: 4}
+	if got := WidenInterval(stable, stable); got != stable {
+		t.Errorf("widening a stable interval = %+v, want unchanged", got)
+	}
+}
+
+func TestIntervalArith(t *testing.T) {
+	if got := AddInterval(ConstInterval(2), Interval{Lo: -1, Hi: 3}); got != (Interval{Lo: 1, Hi: 5}) {
+		t.Errorf("2 + [-1,3] = %+v, want [1,5]", got)
+	}
+	if got := NegInterval(Interval{Lo: -1, Hi: 3}); got != (Interval{Lo: -3, Hi: 1}) {
+		t.Errorf("-[-1,3] = %+v, want [-3,1]", got)
+	}
+	if got := MulInterval(Interval{Lo: -2, Hi: 3}, ConstInterval(-4)); got != (Interval{Lo: -12, Hi: 8}) {
+		t.Errorf("[-2,3] * -4 = %+v, want [-12,8]", got)
+	}
+	// Saturating overflow must lose the bound, never wrap.
+	big := Interval{Lo: 1 << 62, Hi: 1 << 62}
+	if got := AddInterval(big, big); !got.HiInf {
+		t.Errorf("overflowing add = %+v, want an infinite Hi", got)
+	}
+}
+
+func TestIntervalPredicates(t *testing.T) {
+	if !(Interval{LoInf: true, Hi: -1}).DefinitelyNegative() {
+		t.Error("(-inf,-1] must be definitely negative")
+	}
+	if (Interval{Lo: -1, Hi: 0}).DefinitelyNegative() {
+		t.Error("[-1,0] is not definitely negative")
+	}
+	if !(Interval{Lo: 1, HiInf: true}).ExcludesZero() {
+		t.Error("[1,+inf) excludes zero")
+	}
+	if (Interval{Lo: -1, Hi: 1}).ExcludesZero() {
+		t.Error("[-1,1] does not exclude zero")
+	}
+	if !(Interval{Lo: 0, HiInf: true}).DefinitelyNonNegative() {
+		t.Error("[0,+inf) is definitely non-negative")
+	}
+}
+
+// engineFor builds a full interval engine over the named function.
+func engineFor(t *testing.T, src, name string) (*intervalEngine, func(name string, marker string) *ast.Ident) {
+	t.Helper()
+	fset, info, fd, f := buildSSAFor(t, src, name)
+	eng := newIntervalEngine(f)
+	lookup := func(ident, marker string) *ast.Ident {
+		return useOnLine(t, fset, info, fd, ident, lineOf(t, src, marker))
+	}
+	return eng, lookup
+}
+
+func TestIntervalEnginePhiJoin(t *testing.T) {
+	src := `package p
+func f(c bool) int {
+	n := -3
+	if c {
+		n = -1
+	}
+	return n
+}`
+	eng, at := engineFor(t, src, "f")
+	iv := eng.IntervalOf(at("n", "return n"))
+	if iv != (Interval{Lo: -3, Hi: -1}) {
+		t.Errorf("phi of -3 and -1 = %+v, want [-3,-1]", iv)
+	}
+	if !iv.DefinitelyNegative() {
+		t.Error("the join of two negative definitions must stay provably negative")
+	}
+}
+
+func TestIntervalEngineGuardRefinement(t *testing.T) {
+	src := `package p
+func f(p int) int {
+	if p <= 0 {
+		return 0
+	}
+	return 10 / p
+}`
+	eng, at := engineFor(t, src, "f")
+	iv := eng.IntervalOf(at("p", "10 / p"))
+	if !iv.ExcludesZero() || !iv.DefinitelyNonNegative() {
+		t.Errorf("past the p <= 0 early return, p = %+v, want [1,+inf)", iv)
+	}
+}
+
+func TestIntervalEngineLoopWidening(t *testing.T) {
+	// The loop counter must widen to a finite-Lo, infinite-Hi interval
+	// rather than iterate forever or wrap.
+	src := `package p
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s = s + 1
+	}
+	return s
+}`
+	eng, at := engineFor(t, src, "f")
+	iv := eng.IntervalOf(at("s", "return s"))
+	if iv.Empty || iv.LoInf || iv.Lo != 0 || !iv.HiInf {
+		t.Errorf("widened loop accumulator = %+v, want [0,+inf)", iv)
+	}
+}
+
+func TestIntervalEngineNilness(t *testing.T) {
+	src := `package p
+func f(n int) int {
+	var xs []int
+	ys := make([]int, 4)
+	return n + len(xs) + len(ys)
+}`
+	eng, at := engineFor(t, src, "f")
+	if got := eng.NilnessOfExpr(at("xs", "len(xs)")); got != NilAlways {
+		t.Errorf("zero-declared slice nilness = %v, want NilAlways", got)
+	}
+	if got := eng.NilnessOfExpr(at("ys", "len(ys)")); got != NilNever {
+		t.Errorf("made slice nilness = %v, want NilNever", got)
+	}
+}

@@ -13,6 +13,36 @@ func TestCollectiveOrder(t *testing.T) {
 	runFixture(t, CollectiveOrder, fixturePath("collectiveorder"), "repro/internal/lint/testdata/collectiveorder")
 }
 
+func TestCollectiveDeadlock(t *testing.T) {
+	// Checked under an mpi-scoped path so the happens-before rules
+	// apply; the failfast shape must be caught by proof, not pattern.
+	runFixture(t, CollectiveDeadlock, fixturePath("collectivedeadlock"), "repro/internal/mpi/fixture")
+}
+
+func TestCollectiveDeadlockOutOfScope(t *testing.T) {
+	pkg, err := sharedLoader.LoadDir(fixturePath("collectivedeadlock"), "repro/internal/lint/testdata/collectivedeadlock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := RunAnalyzers(pkg, []*Analyzer{CollectiveDeadlock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("diagnostic outside the concurrency-sim packages: %s", Format(pkg.Fset, d))
+	}
+}
+
+func TestGoroLeak(t *testing.T) {
+	runFixture(t, GoroLeak, fixturePath("goroleak"), "repro/internal/chaos/fixture")
+}
+
+func TestBandCheck(t *testing.T) {
+	// A core-scoped path activates the divisor-guard rule alongside the
+	// entry-point interval proofs.
+	runFixture(t, BandCheck, fixturePath("bandcheck"), "repro/internal/core/fixture")
+}
+
 func TestSimClock(t *testing.T) {
 	// The same fixture fires only when checked under a simulated-time
 	// import path; the wants in the file describe that run.
@@ -173,8 +203,8 @@ func TestLoaderLoadsModulePackages(t *testing.T) {
 
 func TestAllAnalyzersRegistered(t *testing.T) {
 	all := All()
-	if len(all) != 8 {
-		t.Fatalf("All() returned %d analyzers, want 8", len(all))
+	if len(all) != 11 {
+		t.Fatalf("All() returned %d analyzers, want 11", len(all))
 	}
 	for _, a := range all {
 		if ByName(a.Name) != a {

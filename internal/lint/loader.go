@@ -40,6 +40,9 @@ type listedPackage struct {
 	GoFiles      []string
 	TestGoFiles  []string
 	XTestGoFiles []string
+	Imports      []string
+	TestImports  []string
+	XTestImports []string
 	Module       *struct{ Path string }
 	Standard     bool
 	DepOnly      bool
@@ -89,10 +92,27 @@ func NewLoader(dir string) *Loader {
 // returns the decoded package records, recording export data for every
 // package seen (dependencies included).
 func (l *Loader) goList(patterns ...string) ([]*listedPackage, error) {
-	args := append([]string{
-		"list", "-export", "-deps",
-		"-json=ImportPath,Dir,Export,GoFiles,TestGoFiles,XTestGoFiles,Module,Standard,DepOnly",
-	}, patterns...)
+	return l.listPackages(true, true, patterns...)
+}
+
+// listPackages is goList with export data and dependency traversal
+// optional: the cache keys units from a listing without -export (which
+// never compiles anything, so a fully-warm run pays no build cost) and
+// usually without -deps (standard-library records contribute nothing
+// to content keys).
+func (l *Loader) listPackages(export, deps bool, patterns ...string) ([]*listedPackage, error) {
+	fields := "ImportPath,Dir,GoFiles,TestGoFiles,XTestGoFiles," +
+		"Imports,TestImports,XTestImports,Module,Standard,DepOnly"
+	args := []string{"list"}
+	if export {
+		args = append(args, "-export")
+		fields = "Export," + fields
+	}
+	if deps {
+		args = append(args, "-deps")
+	}
+	args = append(args, "-json="+fields)
+	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = l.Dir
 	var stderr bytes.Buffer

@@ -31,19 +31,24 @@ type Finding struct {
 // baselines want stable paths).
 func NewFinding(fset *token.FileSet, d Diagnostic) Finding {
 	pos := fset.Position(d.Pos)
-	file := pos.Filename
-	if wd, err := os.Getwd(); err == nil {
-		if rel, rerr := filepath.Rel(wd, file); rerr == nil && !strings.HasPrefix(rel, "..") {
-			file = rel
-		}
-	}
 	return Finding{
-		File:     filepath.ToSlash(file),
+		File:     relToWd(pos.Filename),
 		Line:     pos.Line,
 		Col:      pos.Column,
 		Analyzer: d.Analyzer,
 		Message:  d.Message,
 	}
+}
+
+// relToWd makes a path relative to the working directory when it lies
+// inside it, in slash form, so findings are stable across machines.
+func relToWd(file string) string {
+	if wd, err := os.Getwd(); err == nil {
+		if rel, rerr := filepath.Rel(wd, file); rerr == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+	}
+	return filepath.ToSlash(file)
 }
 
 // WriteJSON emits the findings as a JSON array.

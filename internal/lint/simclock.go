@@ -36,6 +36,7 @@ var simulatedPkgPrefixes = []string{
 	"repro/internal/chaos",
 	"repro/internal/core",
 	"repro/internal/platform",
+	"repro/internal/monitor",
 }
 
 // wallClockFuncs are the time package functions that read or wait on

@@ -1,0 +1,142 @@
+// Package fixture exercises the collectivedeadlock analyzer: blocking
+// sends on local unbuffered channels must have a reachable receiver on
+// every interleaving of the spawner and its goroutines.
+package fixture
+
+import (
+	"errors"
+	"sync"
+)
+
+func compute() (int, error) { return 42, nil }
+
+// failfastShape is the shape the analyzer must catch by proof rather
+// than pattern: the goroutine sends its result, but the spawner's
+// error path returns before the receive, leaving the goroutine parked
+// forever — one rank deserts, the survivor blocks.
+func failfastShape(check func() error) (int, error) {
+	result := make(chan int)
+	go func() {
+		v, _ := compute()
+		result <- v // want "not received on every spawner path"
+	}()
+	if err := check(); err != nil {
+		return 0, err
+	}
+	return <-result, nil
+}
+
+// allPathsReceive is the fixed form: every spawner path reaches the
+// receive, so the send always completes.
+func allPathsReceive(check func() error) (int, error) {
+	result := make(chan int)
+	go func() {
+		v, _ := compute()
+		result <- v
+	}()
+	v := <-result
+	if err := check(); err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+// noReceiverAnywhere: a goroutine send with no receive in the spawner
+// at all.
+func noReceiverAnywhere() {
+	done := make(chan struct{})
+	go func() {
+		done <- struct{}{} // want "no receiver in the spawning function"
+	}()
+}
+
+// sendBeforeSpawn: the thread-0 send blocks before the receiving
+// goroutine exists — no interleaving has a receiver running.
+func sendBeforeSpawn() {
+	ch := make(chan int)
+	ch <- 1 // want "no goroutine receiving from it is spawned before the send"
+	go func() {
+		<-ch
+	}()
+}
+
+// spawnThenSend is the legal ordering of the same pieces: the receiver
+// is running before the send blocks.
+func spawnThenSend() {
+	ch := make(chan int)
+	go func() {
+		<-ch
+	}()
+	ch <- 1
+}
+
+// waitBarrier: the receive exists but sits behind a wg.Wait whose Done
+// follows the send in the same goroutine — the barrier can never fall,
+// so the receive is unreachable and the send blocks forever.
+func waitBarrier() int {
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	wg.Add(1)
+	go func() {
+		ch <- 7 // want "not received on every spawner path"
+		wg.Done()
+	}()
+	wg.Wait()
+	return <-ch
+}
+
+// doneBeforeSend orders the join correctly: Done precedes the send, so
+// Wait falls and the receive runs.
+func doneBeforeSend() int {
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	wg.Add(1)
+	go func() {
+		wg.Done()
+		ch <- 7
+	}()
+	wg.Wait()
+	return <-ch
+}
+
+// buffered sends complete without a rendezvous: silent.
+func buffered() {
+	ch := make(chan int, 1)
+	ch <- 1
+}
+
+// escaping channels leave the provable skeleton: silent.
+func escaping(register func(chan int)) {
+	ch := make(chan int)
+	register(ch)
+	ch <- 1
+}
+
+// selectSend with an alternative arm never blocks unconditionally:
+// silent.
+func selectSend(stop chan struct{}) {
+	ch := make(chan int)
+	go func() {
+		<-ch
+	}()
+	select {
+	case ch <- 1:
+	case <-stop:
+	}
+}
+
+// sharedReceiver: a second goroutine also receives; interleaving
+// exhaustion is impossible, so the analyzer stays silent.
+func sharedReceiver(check func() error) error {
+	ch := make(chan int)
+	go func() {
+		ch <- 1
+	}()
+	go func() {
+		<-ch
+	}()
+	if err := check(); err != nil {
+		return errors.New("degraded")
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+// Package fixture exercises the goroleak analyzer: blocking goroutines
+// must tie their exit to a context cancel, a channel close or
+// counterpart in the spawner, or a WaitGroup join.
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+// leakedConsumer ranges a local channel nobody ever closes: each call
+// parks one goroutine forever.
+func leakedConsumer(events []int) {
+	ch := make(chan int)
+	go func() { // want "goroutine may never exit"
+		for v := range ch {
+			_ = v
+		}
+	}()
+	for _, e := range events {
+		ch <- e
+	}
+}
+
+// closedConsumer is the fixed form: the spawner closes the channel, so
+// the range terminates.
+func closedConsumer(events []int) {
+	ch := make(chan int)
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+	for _, e := range events {
+		ch <- e
+	}
+	close(ch)
+}
+
+// leakedWaiter receives from a local channel with no send or close
+// anywhere in the spawner.
+func leakedWaiter() {
+	done := make(chan struct{})
+	go func() { // want "goroutine may never exit"
+		<-done
+	}()
+}
+
+// signalledWaiter has the counterpart send: clean.
+func signalledWaiter() {
+	done := make(chan struct{})
+	go func() {
+		<-done
+	}()
+	done <- struct{}{}
+}
+
+// cancelledWorker exits through the context: clean.
+func cancelledWorker(ctx context.Context, work chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-work:
+				_ = v
+			}
+		}
+	}()
+}
+
+// joinedWorker is joined through the WaitGroup: clean.
+func joinedWorker(jobs chan int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := range jobs {
+			_ = j
+		}
+	}()
+	wg.Wait()
+}
+
+// paramChannel blocks only on a caller-managed channel: the caller
+// owns its lifecycle, so the spawner is not on the hook.
+func paramChannel(updates chan int) {
+	go func() {
+		for v := range updates {
+			_ = v
+		}
+	}()
+}
+
+// nonBlocking runs to completion unaided: clean.
+func nonBlocking(counters []int) {
+	go func() {
+		total := 0
+		for _, c := range counters {
+			total += c
+		}
+		_ = total
+	}()
+}
+
+// spinLoop never blocks on a channel but never exits either: an
+// unconditional loop with no cancel signal is still a leak.
+func spinLoop() {
+	go func() { // want "goroutine may never exit"
+		for {
+			_ = 1 + 1
+		}
+	}()
+}
+
+// pollLoop spins but checks a context each turn: clean.
+func pollLoop(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+			}
+		}
+	}()
+}
