@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/list"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -38,6 +39,74 @@ type EngineStats struct {
 	// solvers: general-class platforms (Algorithm 1) or opaque cost
 	// functions that cannot be fingerprinted (fresh Algorithm 2).
 	Fallbacks int
+	// Coalesced is the number of solves answered by waiting on an
+	// identical in-flight solve (same signature and item count) instead
+	// of starting their own DP — the singleflight waiters.
+	Coalesced int
+}
+
+// SolveSource classifies the path a Solve took through the engine.
+type SolveSource int
+
+const (
+	// SourceCold is a from-scratch plan build.
+	SourceCold SolveSource = iota
+	// SourceResolve is a warm start from a cached plan's suffix rows.
+	SourceResolve
+	// SourceCacheHit is an O(p) answer from a retained plan.
+	SourceCacheHit
+	// SourceFallback is a non-incremental solve: a general-class
+	// platform (Algorithm 1) or an unfingerprintable cost function
+	// (fresh Algorithm 2).
+	SourceFallback
+)
+
+// String names the source for reports and the daemon's JSON responses.
+func (s SolveSource) String() string {
+	switch s {
+	case SourceCold:
+		return "cold"
+	case SourceResolve:
+		return "warm"
+	case SourceCacheHit:
+		return "cache"
+	case SourceFallback:
+		return "fallback"
+	default:
+		return "source(" + strconv.Itoa(int(s)) + ")"
+	}
+}
+
+// SolveInfo describes how a solve was satisfied.
+type SolveInfo struct {
+	// Source is the path the answering solve took. For a coalesced
+	// caller it is the leader's path.
+	Source SolveSource
+	// Coalesced reports that this caller did no DP work of its own: it
+	// waited on an identical in-flight solve and shared its result.
+	Coalesced bool
+	// Signature is the canonical platform signature, or "" when the
+	// platform cannot be fingerprinted (opaque or general-class costs).
+	Signature string
+}
+
+// PlatformSignature returns the canonical cost signature of procs — the
+// per-processor comm|comp fingerprints joined with ";" — and whether
+// one exists. Two platforms with equal signatures solve bit-identically
+// at every item count, so the signature is a safe key for plan caches
+// and the daemon's durable plan store. General-class platforms and
+// platforms containing an opaque cost function have no signature.
+func PlatformSignature(procs []Processor) (string, bool) {
+	if PlatformClass(procs) == cost.General {
+		return "", false
+	}
+	fps := fingerprints(procs)
+	for _, fp := range fps {
+		if fp == "" {
+			return "", false
+		}
+	}
+	return strings.Join(fps, ";"), true
 }
 
 // Engine is the incremental solver: it answers distribution requests
@@ -45,12 +114,25 @@ type EngineStats struct {
 // with the longest matching platform suffix and falling back to a cold
 // solve only when nothing is reusable. All results are bit-identical to
 // the fresh class-dispatched solvers (Algorithm 1 for general
-// platforms, Algorithm 2 otherwise). Safe for concurrent use.
+// platforms, Algorithm 2 otherwise). Safe for concurrent use: the
+// engine mutex guards only cache bookkeeping and counters, never a DP
+// solve, so distinct platform signatures solve in parallel while
+// identical in-flight requests coalesce onto one solve (singleflight).
 type Engine struct {
-	mu    sync.Mutex
-	cache *PlanCache
-	tabs  *tabCache
-	stats EngineStats
+	mu      sync.Mutex
+	cache   *PlanCache
+	tabs    *tabCache
+	stats   EngineStats
+	flights map[string]*flight
+}
+
+// flight is one in-progress solve that identical requests wait on. Its
+// result fields are written exactly once, before done is closed.
+type flight struct {
+	done chan struct{}
+	res  Result
+	info SolveInfo
+	err  error
 }
 
 // DefaultPlanCacheCapacity bounds an Engine's plan cache when
@@ -65,7 +147,11 @@ func NewEngine(capacity int) *Engine {
 	if capacity <= 0 {
 		capacity = DefaultPlanCacheCapacity
 	}
-	return &Engine{cache: NewPlanCache(capacity), tabs: newTabCache()}
+	return &Engine{
+		cache:   NewPlanCache(capacity),
+		tabs:    newTabCache(),
+		flights: make(map[string]*flight),
+	}
 }
 
 // Stats returns a snapshot of the engine's counters.
@@ -83,41 +169,104 @@ func (e *Engine) Stats() EngineStats {
 // built and retained. General-class platforms and opaque cost functions
 // bypass the plan machinery entirely.
 func (e *Engine) Solve(procs []Processor, n int) (Result, error) {
+	res, _, err := e.SolveDetailed(procs, n)
+	return res, err
+}
+
+// SolveDetailed is Solve, additionally reporting how the answer was
+// produced. The engine mutex is held only for cache bookkeeping: the
+// DP itself runs unlocked, so concurrent solves of distinct signatures
+// proceed in parallel, while callers requesting an identical
+// (signature, item count) pair wait on the in-flight leader and share
+// its result bit-for-bit.
+func (e *Engine) SolveDetailed(procs []Processor, n int) (Result, SolveInfo, error) {
 	if PlatformClass(procs) == cost.General {
 		e.count(func(s *EngineStats) { s.Fallbacks++ })
-		return Algorithm1(procs, n)
+		res, err := Algorithm1(procs, n)
+		return res, SolveInfo{Source: SourceFallback}, err
 	}
 	fps := fingerprints(procs)
 	for _, fp := range fps {
 		if fp == "" {
 			e.count(func(s *EngineStats) { s.Fallbacks++ })
-			return Algorithm2(procs, n)
+			res, err := Algorithm2(procs, n)
+			return res, SolveInfo{Source: SourceFallback}, err
 		}
 	}
 	sig := strings.Join(fps, ";")
+	key := sig + "#" + strconv.Itoa(n)
 
 	e.mu.Lock()
-	defer e.mu.Unlock()
-
 	if pl := e.cache.Get(sig); pl != nil && pl.n >= n {
 		e.stats.CacheHits++
-		return pl.Lookup(n, 0)
+		res, err := pl.Lookup(n, 0)
+		e.mu.Unlock()
+		return res, SolveInfo{Source: SourceCacheHit, Signature: sig}, err
 	}
-	if base := e.cache.bestSuffix(fps, n); base != nil {
-		derived, err := base.resolve(e.tabs, n, procs)
-		if err == nil {
-			e.stats.Resolves++
-			e.cache.Put(sig, derived)
-			return derived.Lookup(n, 0)
+	if f, ok := e.flights[key]; ok {
+		// An identical solve is in flight: wait for the leader instead
+		// of duplicating a multi-second DP. Identical inputs fail
+		// identically, so sharing the leader's error is exact too.
+		e.stats.Coalesced++
+		e.mu.Unlock()
+		<-f.done
+		info := f.info
+		info.Coalesced = true
+		return f.res, info, f.err
+	}
+	// Leader: register the flight and pick the warm-start base under
+	// the lock, pinning it so a concurrent eviction cannot recycle its
+	// row buffers while the resolve reads them.
+	f := &flight{done: make(chan struct{})}
+	e.flights[key] = f
+	base := e.cache.bestSuffix(fps, n)
+	if base != nil {
+		base.refs++
+		base.pinRows()
+	}
+	e.mu.Unlock()
+
+	var pl *Plan
+	var err error
+	source := SourceCold
+	if base != nil {
+		if derived, rerr := base.resolve(e.tabs, n, procs); rerr == nil {
+			pl, source = derived, SourceResolve
 		}
 	}
-	pl, err := solvePlan(e.tabs, procs, n)
-	if err != nil {
-		return Result{}, err
+	if pl == nil {
+		pl, err = solvePlan(e.tabs, procs, n)
 	}
-	e.stats.ColdSolves++
-	e.cache.Put(sig, pl)
-	return pl.Lookup(n, 0)
+
+	e.mu.Lock()
+	if base != nil {
+		e.unpinLocked(base)
+	}
+	var res Result
+	if err == nil {
+		if source == SourceResolve {
+			e.stats.Resolves++
+		} else {
+			e.stats.ColdSolves++
+		}
+		e.cache.Put(sig, pl)
+		res, err = pl.Lookup(n, 0)
+	}
+	f.res, f.info, f.err = res, SolveInfo{Source: source, Signature: sig}, err
+	delete(e.flights, key)
+	e.mu.Unlock()
+	close(f.done)
+	return f.res, f.info, f.err
+}
+
+// unpinLocked drops one pin from a plan used as a warm-start base,
+// freeing its rows if the cache evicted it while the resolve ran.
+// Callers must hold e.mu.
+func (e *Engine) unpinLocked(pl *Plan) {
+	pl.refs--
+	if pl.refs == 0 && pl.zombie {
+		pl.freeRows()
+	}
 }
 
 func (e *Engine) count(f func(*EngineStats)) {

@@ -36,6 +36,16 @@ type planRow struct {
 	lent   bool
 }
 
+// pin marks the row lent so the owner's release() skips its buffers.
+// The write is guarded: a row already pinned under the engine mutex
+// (Plan.pinRows) is only read here, which keeps the engine's unlocked
+// resolve phase free of writes to shared plan state.
+func (r *planRow) pin() {
+	if !r.lent {
+		r.lent = true
+	}
+}
+
 // Plan is a retained solution of the Algorithm 2 dynamic program for a
 // platform and item count, answering suffix subproblems and warm-started
 // re-solves without repeating work. Build one with SolvePlan or through
@@ -46,6 +56,13 @@ type Plan struct {
 	fps   []string // per-processor cost fingerprint; "" if opaque
 	n     int      // rows answer any d in [0, n]
 	rows  []planRow
+
+	// refs counts in-flight engine resolves reading this plan's rows;
+	// zombie marks a plan evicted from the cache while pinned, whose
+	// buffers are freed on the last unpin instead. Both are guarded by
+	// the engine mutex; they stay zero for engine-less plans.
+	refs   int
+	zombie bool
 }
 
 // Items returns the item count the plan was solved for; Lookup and
@@ -160,9 +177,22 @@ func (pl *Plan) Resolve(remaining int, survivors []Processor) (Result, error) {
 	return d.Lookup(remaining, 0)
 }
 
+// pinRows marks every row of the plan as lent, so release() will never
+// recycle its buffers. The Engine calls this under its mutex before
+// handing the plan to an unlocked resolve: from then on the resolve may
+// alias the rows without writing the (now redundant) lent bits itself,
+// keeping the unlocked phase free of writes to shared plan state.
+func (pl *Plan) pinRows() {
+	for i := range pl.rows {
+		pl.rows[i].pin()
+	}
+}
+
 // resolve is Resolve returning the derived plan, so the Engine can
 // retain it for future warm starts. tc optionally caches cost tables
-// across solves.
+// across solves. The plan's rows must not be mutated here beyond the
+// pin protocol: when the caller pre-pinned the plan (Engine path), the
+// whole body is read-only with respect to pl.
 func (pl *Plan) resolve(tc *tabCache, remaining int, survivors []Processor) (*Plan, error) {
 	if err := validateDPInput(survivors, remaining); err != nil {
 		return nil, err
@@ -186,11 +216,11 @@ func (pl *Plan) resolve(tc *tabCache, remaining int, survivors []Processor) (*Pl
 		fps:   sfps,
 		rows:  make([]planRow, m),
 	}
-	// Borrow the valid suffix rows verbatim; mark them lent so the
-	// owner never recycles them under us.
+	// Borrow the valid suffix rows verbatim; pin them so the owner
+	// never recycles them under us.
 	for j := 0; j < t; j++ {
 		src := &pl.rows[p-t+j]
-		src.lent = true
+		src.pin()
 		d.rows[m-t+j] = planRow{cost: src.cost, choice: src.choice}
 	}
 	if t == m {
@@ -217,7 +247,21 @@ func (pl *Plan) resolve(tc *tabCache, remaining int, survivors []Processor) (*Pl
 
 // release returns the plan's owned, never-lent row buffers to the pool.
 // Called by the PlanCache on eviction; the plan must not be used after.
+// A plan pinned by an in-flight engine resolve is only marked: its
+// buffers are freed by the last unpin instead, so the resolve never
+// reads recycled memory.
 func (pl *Plan) release() {
+	if pl.refs > 0 {
+		pl.zombie = true
+		return
+	}
+	pl.freeRows()
+}
+
+// freeRows recycles the owned, never-lent row buffers and nils every
+// row. Callers must guarantee no reader is left (release, or the last
+// engine unpin of a zombie).
+func (pl *Plan) freeRows() {
 	for i := range pl.rows {
 		r := &pl.rows[i]
 		if r.owned && !r.lent {
@@ -290,8 +334,11 @@ func putI32(s []int32) {
 // tabCache memoizes the comm/comp cost tables per fingerprint, so
 // repeated solves on the same platform skip re-tabulation entirely. A
 // nil *tabCache (the zero engine-less path) degrades to pooled scratch
-// tables filled per call.
+// tables filled per call. Safe for concurrent use: published tables
+// are immutable, and the mutex guards only map access — concurrent
+// solves of distinct platforms tabulate in parallel.
 type tabCache struct {
+	mu   sync.Mutex
 	tabs map[string][]float64
 }
 
@@ -315,11 +362,23 @@ func (tc *tabCache) tables(pr Processor, fp string, n int) (comm, comp []float64
 }
 
 func (tc *tabCache) table(f cost.Function, key string, n int) []float64 {
-	if tab, ok := tc.tabs[key]; ok && len(tab) >= n+1 {
+	tc.mu.Lock()
+	tab, ok := tc.tabs[key]
+	tc.mu.Unlock()
+	if ok && len(tab) >= n+1 {
 		return tab[:n+1]
 	}
-	tab := make([]float64, n+1)
+	// Tabulate outside the lock so distinct platforms fill in
+	// parallel; concurrent fills of one key duplicate O(n) work at
+	// worst, and the widest table wins the publish.
+	tab = make([]float64, n+1)
 	fillCosts(f, n, tab)
-	tc.tabs[key] = tab
-	return tab
+	tc.mu.Lock()
+	if cur, ok := tc.tabs[key]; ok && len(cur) >= len(tab) {
+		tab = cur
+	} else {
+		tc.tabs[key] = tab
+	}
+	tc.mu.Unlock()
+	return tab[:n+1]
 }
