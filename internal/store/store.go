@@ -1,0 +1,518 @@
+// Package store implements the daemon's durable plan store: an
+// append-only, CRC-framed write-ahead log of solved distributions
+// keyed by the canonical platform signature (core.PlatformSignature)
+// and item count, so a restarted scatterd answers every previously
+// solved request without re-running a multi-second DP.
+//
+// The on-disk format follows the text-codec discipline of the fault
+// package's "ledger v1" (DESIGN.md §9): human-readable lines, a
+// version header, strict replay validation. On top of that it adds
+// crash-safety framing, because a daemon — unlike the in-memory
+// ledger — dies mid-write:
+//
+//	planwal v1\n
+//	plan <payloadLen> <crc32c-hex>\n
+//	sig <signature>\n
+//	items <n>\n
+//	makespan <hex-float>\n
+//	dist <d0> <d1> ... <dp-1>\n
+//	... next frame ...
+//
+// Each record frame is a header line carrying the payload's byte
+// length and CRC-32C, followed by exactly payloadLen payload bytes.
+// Recovery replays frames from the top and stops at the first frame
+// that is short, fails its CRC, or fails semantic validation (the
+// distribution must sum to the item count); everything from that
+// offset on is a torn tail and is truncated away, so a crash mid-
+// append (or tail corruption) costs at most the records at and after
+// the damage — every earlier committed plan survives. Makespans are
+// encoded as hex floats so recovered results are bit-identical to the
+// solves that produced them. Compaction rewrites the live entries in
+// sorted order to a temporary file and renames it into place, so it
+// is atomic: a crash during compaction leaves either the old or the
+// new WAL, never a mix.
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// header is the WAL version line.
+const header = "planwal v1\n"
+
+// maxPayload bounds a frame's declared payload length, so a corrupt
+// header cannot make recovery allocate gigabytes.
+const maxPayload = 1 << 26
+
+// castagnoli is the CRC-32C table used for frame checksums.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Entry is one persisted plan: the distribution an engine solve
+// produced for (Sig, Items).
+type Entry struct {
+	// Sig is the canonical platform signature (core.PlatformSignature).
+	Sig string
+	// Items is the solved item count; the distribution sums to it.
+	Items int
+	// Makespan is the predicted makespan of the distribution.
+	Makespan float64
+	// Dist is the per-processor item distribution, root last.
+	Dist []int
+}
+
+// validate rejects entries the codec cannot round-trip exactly.
+func (e Entry) validate() error {
+	if e.Sig == "" || strings.ContainsAny(e.Sig, " \t\n\r") {
+		return fmt.Errorf("store: unusable signature %q", e.Sig)
+	}
+	if len(e.Dist) == 0 {
+		return fmt.Errorf("store: entry for %q has an empty distribution", e.Sig)
+	}
+	if math.IsNaN(e.Makespan) || math.IsInf(e.Makespan, 0) || e.Makespan < 0 {
+		return fmt.Errorf("store: entry for %q has makespan %v", e.Sig, e.Makespan)
+	}
+	sum := 0
+	for _, d := range e.Dist {
+		if d < 0 {
+			return fmt.Errorf("store: entry for %q has negative share %d", e.Sig, d)
+		}
+		sum += d
+	}
+	if sum != e.Items {
+		return fmt.Errorf("store: entry for %q sums to %d, want %d items", e.Sig, sum, e.Items)
+	}
+	return nil
+}
+
+// RecoveryInfo reports what Open found in the WAL.
+type RecoveryInfo struct {
+	// Records is the number of committed records replayed.
+	Records int
+	// Entries is the number of live (sig, items) entries after replay;
+	// lower than Records when the log contains superseded duplicates.
+	Entries int
+	// TornBytes is the length of the torn or corrupt tail that was
+	// truncated away (0 for a clean log).
+	TornBytes int64
+	// Reset reports that the version header itself was unusable and
+	// the store restarted empty.
+	Reset bool
+}
+
+// Store is the durable plan store. All methods are safe for concurrent
+// use. The WAL assumes a single writing process; running two daemons
+// against one file corrupts neither's memory but interleaves frames
+// unpredictably.
+type Store struct {
+	mu      sync.Mutex
+	path    string
+	f       *os.File
+	entries map[string]Entry
+	records int
+}
+
+// key is the in-memory index key for (sig, items).
+func key(sig string, items int) string {
+	return sig + "#" + strconv.Itoa(items)
+}
+
+// Open reads (or creates) the WAL at path, replays every committed
+// record, truncates any torn or corrupt tail, and returns the store
+// ready for appends. Corrupt content is never an error — recovery
+// keeps the longest valid prefix — only real I/O failures are.
+func Open(path string) (*Store, RecoveryInfo, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, RecoveryInfo{}, fmt.Errorf("store: open %s: %w", path, err)
+	}
+	s := &Store{path: path, f: f, entries: make(map[string]Entry)}
+	info, err := s.recover()
+	if err != nil {
+		f.Close()
+		return nil, RecoveryInfo{}, err
+	}
+	return s, info, nil
+}
+
+// recover replays the WAL and truncates the torn tail. Called once
+// from Open, before the store is shared.
+func (s *Store) recover() (RecoveryInfo, error) {
+	var info RecoveryInfo
+	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
+		return info, fmt.Errorf("store: seek %s: %w", s.path, err)
+	}
+	r := bufio.NewReader(s.f)
+
+	size, err := s.f.Stat()
+	if err != nil {
+		return info, fmt.Errorf("store: stat %s: %w", s.path, err)
+	}
+	total := size.Size()
+
+	hdr, err := readLine(r, len(header))
+	switch {
+	case err == io.EOF && hdr == "":
+		// Fresh file: write the header.
+		if werr := s.rewrite(nil); werr != nil {
+			return info, werr
+		}
+		return info, nil
+	case err == nil && hdr == strings.TrimSuffix(header, "\n"):
+		// Valid header; replay records below.
+	default:
+		// Unreadable or wrong header: nothing before it can be
+		// trusted, restart the store empty.
+		info.Reset = true
+		info.TornBytes = total
+		if werr := s.rewrite(nil); werr != nil {
+			return info, werr
+		}
+		return info, nil
+	}
+
+	good := int64(len(header)) // offset of the first byte after the last valid record
+	off := good
+	for {
+		line, err := readLine(r, 64)
+		if err != nil || line == "" {
+			break
+		}
+		off += int64(len(line)) + 1
+		var plen int
+		var crc uint32
+		if n, err := fmt.Sscanf(line, "plan %d %x", &plen, &crc); n != 2 || err != nil {
+			break
+		}
+		if plen <= 0 || plen > maxPayload {
+			break
+		}
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			break
+		}
+		off += int64(plen)
+		if crc32.Checksum(payload, castagnoli) != crc {
+			break
+		}
+		e, err := decodePayload(payload)
+		if err != nil {
+			break
+		}
+		s.entries[key(e.Sig, e.Items)] = e
+		s.records++
+		good = off
+	}
+	info.Records = s.records
+	info.Entries = len(s.entries)
+	if good < total {
+		info.TornBytes = total - good
+		if err := s.f.Truncate(good); err != nil {
+			return info, fmt.Errorf("store: truncate torn tail of %s: %w", s.path, err)
+		}
+		if err := s.f.Sync(); err != nil {
+			return info, fmt.Errorf("store: sync %s: %w", s.path, err)
+		}
+	}
+	if _, err := s.f.Seek(0, io.SeekEnd); err != nil {
+		return info, fmt.Errorf("store: seek %s: %w", s.path, err)
+	}
+	return info, nil
+}
+
+// readLine reads one \n-terminated line without the terminator,
+// rejecting lines longer than roughly max bytes (a corrupt frame, not
+// a real header). Returns io.EOF with what was read when the file ends
+// without a terminator.
+func readLine(r *bufio.Reader, max int) (string, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return strings.TrimSuffix(line, "\n"), err
+	}
+	if len(line) > max+1 {
+		return "", fmt.Errorf("store: line of %d bytes exceeds %d", len(line), max)
+	}
+	return strings.TrimSuffix(line, "\n"), nil
+}
+
+// encodePayload renders an entry in the documented text form.
+func encodePayload(e Entry) []byte {
+	var sb strings.Builder
+	sb.WriteString("sig ")
+	sb.WriteString(e.Sig)
+	sb.WriteString("\nitems ")
+	sb.WriteString(strconv.Itoa(e.Items))
+	sb.WriteString("\nmakespan ")
+	sb.WriteString(strconv.FormatFloat(e.Makespan, 'x', -1, 64))
+	sb.WriteString("\ndist")
+	for _, d := range e.Dist {
+		sb.WriteByte(' ')
+		sb.WriteString(strconv.Itoa(d))
+	}
+	sb.WriteByte('\n')
+	return []byte(sb.String())
+}
+
+// decodePayload parses and validates the text form.
+func decodePayload(payload []byte) (Entry, error) {
+	var e Entry
+	lines := strings.Split(strings.TrimSuffix(string(payload), "\n"), "\n")
+	if len(lines) != 4 {
+		return e, fmt.Errorf("store: payload has %d lines, want 4", len(lines))
+	}
+	sig, ok := strings.CutPrefix(lines[0], "sig ")
+	if !ok {
+		return e, fmt.Errorf("store: bad sig line %q", lines[0])
+	}
+	e.Sig = sig
+	itemsStr, ok := strings.CutPrefix(lines[1], "items ")
+	if !ok {
+		return e, fmt.Errorf("store: bad items line %q", lines[1])
+	}
+	items, err := strconv.Atoi(itemsStr)
+	if err != nil {
+		return e, fmt.Errorf("store: bad item count %q: %w", itemsStr, err)
+	}
+	e.Items = items
+	msStr, ok := strings.CutPrefix(lines[2], "makespan ")
+	if !ok {
+		return e, fmt.Errorf("store: bad makespan line %q", lines[2])
+	}
+	ms, err := strconv.ParseFloat(msStr, 64)
+	if err != nil {
+		return e, fmt.Errorf("store: bad makespan %q: %w", msStr, err)
+	}
+	e.Makespan = ms
+	distStr, ok := strings.CutPrefix(lines[3], "dist")
+	if !ok {
+		return e, fmt.Errorf("store: bad dist line %q", lines[3])
+	}
+	for _, fld := range strings.Fields(distStr) {
+		d, err := strconv.Atoi(fld)
+		if err != nil {
+			return e, fmt.Errorf("store: bad dist share %q: %w", fld, err)
+		}
+		e.Dist = append(e.Dist, d)
+	}
+	if err := e.validate(); err != nil {
+		return Entry{}, err
+	}
+	return e, nil
+}
+
+// frame renders the full record frame (header line + payload) for an
+// entry.
+func frame(e Entry) []byte {
+	payload := encodePayload(e)
+	hdr := fmt.Sprintf("plan %d %08x\n", len(payload), crc32.Checksum(payload, castagnoli))
+	return append([]byte(hdr), payload...)
+}
+
+// Append durably records an entry: one frame write followed by an
+// fsync, so an acknowledged append survives a crash. Re-appending an
+// entry identical to the live one for its key is a no-op; a different
+// distribution for an existing key is an error — solves are
+// deterministic, so a conflicting result means a corrupted caller.
+func (s *Store) Append(e Entry) error {
+	if err := e.validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("store: %s is closed", s.path)
+	}
+	k := key(e.Sig, e.Items)
+	if cur, ok := s.entries[k]; ok {
+		if equalEntry(cur, e) {
+			return nil
+		}
+		return fmt.Errorf("store: conflicting result for %s: have %v, got %v", k, cur.Dist, e.Dist)
+	}
+	if _, err := s.f.Write(frame(e)); err != nil {
+		return fmt.Errorf("store: append to %s: %w", s.path, err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("store: sync %s: %w", s.path, err)
+	}
+	// Copy the distribution so later caller mutations cannot alias
+	// into the index.
+	e.Dist = append([]int(nil), e.Dist...)
+	s.entries[k] = e
+	s.records++
+	return nil
+}
+
+// equalEntry compares two entries bit-for-bit.
+func equalEntry(a, b Entry) bool {
+	if a.Sig != b.Sig || a.Items != b.Items || a.Makespan != b.Makespan || len(a.Dist) != len(b.Dist) {
+		return false
+	}
+	for i := range a.Dist {
+		if a.Dist[i] != b.Dist[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Get returns the persisted entry for (sig, items). The returned
+// distribution is a copy; callers may keep it.
+func (s *Store) Get(sig string, items int) (Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key(sig, items)]
+	if !ok {
+		return Entry{}, false
+	}
+	e.Dist = append([]int(nil), e.Dist...)
+	return e, true
+}
+
+// Len returns the number of live entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Records returns the number of records in the log, live plus
+// superseded; a gap between Records and Len means Compact would
+// shrink the file.
+func (s *Store) Records() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.records
+}
+
+// Path returns the WAL file path.
+func (s *Store) Path() string { return s.path }
+
+// Size returns the WAL's current byte size.
+func (s *Store) Size() (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return 0, fmt.Errorf("store: %s is closed", s.path)
+	}
+	st, err := s.f.Stat()
+	if err != nil {
+		return 0, fmt.Errorf("store: stat %s: %w", s.path, err)
+	}
+	return st.Size(), nil
+}
+
+// Compact atomically rewrites the WAL to exactly the live entries, in
+// sorted key order so the rewritten file is deterministic. A crash
+// during compaction leaves either the old file or the new one, never
+// a mix: the new log is fully written and fsynced under a temporary
+// name first, then renamed over the old one.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("store: %s is closed", s.path)
+	}
+	keys := make([]string, 0, len(s.entries))
+	for k := range s.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	entries := make([]Entry, len(keys))
+	for i, k := range keys {
+		entries[i] = s.entries[k]
+	}
+	if err := s.rewrite(entries); err != nil {
+		return err
+	}
+	s.records = len(entries)
+	return nil
+}
+
+// rewrite replaces the WAL file with header + the given frames, via
+// temp file, fsync, and rename. Callers hold s.mu (or own the store
+// exclusively, during Open).
+func (s *Store) rewrite(entries []Entry) error {
+	dir, base := filepath.Split(s.path)
+	tmp, err := os.CreateTemp(dir, base+".compact-*")
+	if err != nil {
+		return fmt.Errorf("store: compact temp: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	w := bufio.NewWriter(tmp)
+	w.WriteString(header)
+	for _, e := range entries {
+		w.Write(frame(e))
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: compact write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: compact sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: compact close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path); err != nil {
+		return fmt.Errorf("store: compact rename: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	old := s.f
+	f, err := os.OpenFile(s.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: reopen %s: %w", s.path, err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return fmt.Errorf("store: seek %s: %w", s.path, err)
+	}
+	s.f = f
+	if old != nil {
+		old.Close()
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a rename within it is durable.
+func syncDir(dir string) error {
+	if dir == "" {
+		dir = "."
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: open dir %s: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: sync dir %s: %w", dir, err)
+	}
+	return nil
+}
+
+// Close releases the WAL file. Appends after Close fail.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	if err != nil {
+		return fmt.Errorf("store: close %s: %w", s.path, err)
+	}
+	return nil
+}

@@ -1,0 +1,324 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testEntry(i int) Entry {
+	p := 3 + i%4
+	dist := make([]int, p)
+	items := 0
+	for j := range dist {
+		dist[j] = 100*i + 17*j + 1
+		items += dist[j]
+	}
+	return Entry{
+		Sig:      fmt.Sprintf("lin(0x1.%xp-10)|lin(0x1.ap-8);site%d", i, i),
+		Items:    items,
+		Makespan: 1.5*float64(i) + 0.1,
+		Dist:     dist,
+	}
+}
+
+func openT(t *testing.T, path string) (*Store, RecoveryInfo) {
+	t.Helper()
+	s, info, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", path, err)
+	}
+	return s, info
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plans.wal")
+	s, info := openT(t, path)
+	if info.Records != 0 || info.TornBytes != 0 || info.Reset {
+		t.Fatalf("fresh store recovery = %+v, want zero", info)
+	}
+	const k = 9
+	for i := 0; i < k; i++ {
+		if err := s.Append(testEntry(i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if s.Len() != k {
+		t.Fatalf("Len = %d, want %d", s.Len(), k)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	s2, info := openT(t, path)
+	defer s2.Close()
+	if info.Records != k || info.Entries != k || info.TornBytes != 0 || info.Reset {
+		t.Fatalf("recovery = %+v, want %d clean records", info, k)
+	}
+	for i := 0; i < k; i++ {
+		want := testEntry(i)
+		got, ok := s2.Get(want.Sig, want.Items)
+		if !ok {
+			t.Fatalf("entry %d missing after reopen", i)
+		}
+		if !equalEntry(got, want) {
+			t.Fatalf("entry %d = %+v, want %+v", i, got, want)
+		}
+	}
+}
+
+func TestStoreMakespanBitExact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plans.wal")
+	s, _ := openT(t, path)
+	e := testEntry(0)
+	e.Makespan = math.Nextafter(403.97522960000003, 404) // an awkward mantissa
+	if err := s.Append(e); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	s.Close()
+	s2, _ := openT(t, path)
+	defer s2.Close()
+	got, ok := s2.Get(e.Sig, e.Items)
+	if !ok {
+		t.Fatal("entry missing")
+	}
+	if math.Float64bits(got.Makespan) != math.Float64bits(e.Makespan) {
+		t.Fatalf("makespan bits %x != %x", math.Float64bits(got.Makespan), math.Float64bits(e.Makespan))
+	}
+}
+
+// TestStoreTornAppend simulates kill -9 mid-append: only a prefix of
+// the last frame reaches the disk. Recovery must keep every earlier
+// record, truncate the torn tail, and a second recovery must be clean.
+func TestStoreTornAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plans.wal")
+	s, _ := openT(t, path)
+	const k = 5
+	for i := 0; i < k; i++ {
+		if err := s.Append(testEntry(i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	s.Close()
+
+	torn := frame(testEntry(k))
+	for cut := 1; cut < len(torn); cut += 7 {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tornPath := filepath.Join(t.TempDir(), "torn.wal")
+		if err := os.WriteFile(tornPath, append(append([]byte(nil), data...), torn[:cut]...), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s2, info := openT(t, tornPath)
+		if info.Records != k {
+			t.Fatalf("cut %d: recovered %d records, want %d", cut, info.Records, k)
+		}
+		if info.TornBytes != int64(cut) {
+			t.Fatalf("cut %d: TornBytes = %d, want %d", cut, info.TornBytes, cut)
+		}
+		s2.Close()
+		s3, info := openT(t, tornPath)
+		if info.Records != k || info.TornBytes != 0 {
+			t.Fatalf("cut %d: second recovery = %+v, want clean %d records", cut, info, k)
+		}
+		s3.Close()
+	}
+}
+
+// TestStoreCorruptMiddle flips one byte inside an early record: every
+// record before the damage must survive, everything from it on is
+// dropped (prefix semantics).
+func TestStoreCorruptMiddle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plans.wal")
+	s, _ := openT(t, path)
+	const k = 6
+	offsets := []int64{int64(len(header))}
+	for i := 0; i < k; i++ {
+		if err := s.Append(testEntry(i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		sz, err := s.Size()
+		if err != nil {
+			t.Fatal(err)
+		}
+		offsets = append(offsets, sz)
+	}
+	s.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt one byte inside record 2 (between offsets[2] and [3]).
+	for _, at := range []int64{offsets[2], (offsets[2] + offsets[3]) / 2, offsets[3] - 1} {
+		mut := append([]byte(nil), data...)
+		mut[at] ^= 0x5a
+		p := filepath.Join(t.TempDir(), "corrupt.wal")
+		if err := os.WriteFile(p, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s2, info := openT(t, p)
+		if info.Records != 2 {
+			t.Fatalf("corrupt @%d: recovered %d records, want 2", at, info.Records)
+		}
+		if info.TornBytes != int64(len(data))-offsets[2] {
+			t.Fatalf("corrupt @%d: TornBytes = %d, want %d", at, info.TornBytes, int64(len(data))-offsets[2])
+		}
+		for i := 0; i < 2; i++ {
+			want := testEntry(i)
+			if got, ok := s2.Get(want.Sig, want.Items); !ok || !equalEntry(got, want) {
+				t.Fatalf("corrupt @%d: record %d not recovered intact", at, i)
+			}
+		}
+		s2.Close()
+	}
+}
+
+// TestStoreHeaderCorruption: a damaged version header means nothing in
+// the file can be trusted; the store restarts empty rather than erroring.
+func TestStoreHeaderCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plans.wal")
+	s, _ := openT(t, path)
+	if err := s.Append(testEntry(0)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[3] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, info := openT(t, path)
+	defer s2.Close()
+	if !info.Reset || info.Records != 0 || s2.Len() != 0 {
+		t.Fatalf("recovery after header damage = %+v len=%d, want reset empty", info, s2.Len())
+	}
+	// The reset store must be fully usable again.
+	if err := s2.Append(testEntry(1)); err != nil {
+		t.Fatalf("append after reset: %v", err)
+	}
+}
+
+func TestStoreAppendDedupAndConflict(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plans.wal")
+	s, _ := openT(t, path)
+	defer s.Close()
+	e := testEntry(0)
+	if err := s.Append(e); err != nil {
+		t.Fatal(err)
+	}
+	size1, _ := s.Size()
+	if err := s.Append(e); err != nil {
+		t.Fatalf("identical re-append: %v", err)
+	}
+	size2, _ := s.Size()
+	if size1 != size2 {
+		t.Fatalf("identical re-append grew the log: %d -> %d", size1, size2)
+	}
+	bad := testEntry(0)
+	bad.Dist = append([]int(nil), bad.Dist...)
+	bad.Dist[0]++
+	bad.Dist[1]--
+	if err := s.Append(bad); err == nil {
+		t.Fatal("conflicting distribution for an existing key must be rejected")
+	}
+}
+
+func TestStoreAppendValidation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plans.wal")
+	s, _ := openT(t, path)
+	defer s.Close()
+	cases := []Entry{
+		{Sig: "", Items: 1, Dist: []int{1}},
+		{Sig: "a b", Items: 1, Dist: []int{1}},
+		{Sig: "a\nb", Items: 1, Dist: []int{1}},
+		{Sig: "ok", Items: 1, Dist: nil},
+		{Sig: "ok", Items: 1, Dist: []int{2}},
+		{Sig: "ok", Items: -1, Dist: []int{-1}},
+		{Sig: "ok", Items: 1, Dist: []int{1}, Makespan: math.NaN()},
+		{Sig: "ok", Items: 1, Dist: []int{1}, Makespan: math.Inf(1)},
+	}
+	for i, e := range cases {
+		if err := s.Append(e); err == nil {
+			t.Errorf("case %d (%+v): invalid entry accepted", i, e)
+		}
+	}
+}
+
+func TestStoreCompact(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "plans.wal")
+	s, _ := openT(t, path)
+	const k = 7
+	for i := 0; i < k; i++ {
+		if err := s.Append(testEntry(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	// The store must remain appendable after the rename swap.
+	if err := s.Append(testEntry(k)); err != nil {
+		t.Fatalf("append after compact: %v", err)
+	}
+	s.Close()
+
+	s2, info := openT(t, path)
+	if info.Records != k+1 || info.TornBytes != 0 {
+		t.Fatalf("recovery after compact = %+v, want %d clean records", info, k+1)
+	}
+	s2.Close()
+
+	// Compacting twice yields byte-identical files: entries are written
+	// in sorted key order, independent of append or map order.
+	s3, _ := openT(t, path)
+	if err := s3.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	first, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s3.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	second, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3.Close()
+	if !bytes.Equal(first, second) {
+		t.Fatal("repeated compaction is not deterministic")
+	}
+	if !bytes.HasPrefix(first, []byte(header)) {
+		t.Fatal("compacted file lost its header")
+	}
+	if got, want := strings.Count(string(first), "\nsig "), k+1; got != want {
+		t.Fatalf("compacted file holds %d records, want %d", got, want)
+	}
+}
+
+func TestStoreClosedOps(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plans.wal")
+	s, _ := openT(t, path)
+	s.Close()
+	if err := s.Append(testEntry(0)); err == nil {
+		t.Fatal("append after close must fail")
+	}
+	if err := s.Compact(); err == nil {
+		t.Fatal("compact after close must fail")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
