@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-fault bench-recovery bench-solver bench-degraded bench-lint figures fmt lint lint-vet ci-lint check ci
+.PHONY: all build vet test race bench bench-fault bench-recovery bench-solver bench-degraded bench-lint bench-serve figures fmt lint lint-vet ci-lint check ci
 
 all: build
 
@@ -40,6 +40,12 @@ bench-solver:
 # site partition plus degraded trunk links, at three graph sizes).
 bench-degraded:
 	$(GO) run ./cmd/scatterbench -degraded BENCH_degraded.json
+
+# Regenerate BENCH_serve.json (scatterd under a seeded 120k-request
+# load: throughput, latency percentiles, store/cache hit rates, shed
+# rate, and cold-vs-warm crash-restart economics).
+bench-serve:
+	$(GO) run ./cmd/scatterbench -serve BENCH_serve.json
 
 # Regenerate BENCH_lint.json (scatterlint runtime over this module:
 # loader, the five syntactic analyzers, the three dataflow analyzers,

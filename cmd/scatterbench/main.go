@@ -45,6 +45,7 @@ func main() {
 		svgDir     = flag.String("svg", "", "write figure SVGs into this directory")
 		recovery   = flag.String("recovery", "", "run only the recovery benchmark and write its JSON to this file")
 		solver     = flag.String("solver", "", "run only the solver benchmark and write its JSON to this file")
+		serveBench = flag.String("serve", "", "run only the daemon load benchmark and write its JSON to this file")
 		degraded   = flag.String("degraded", "", "run only the degraded-network benchmark and write its JSON to this file")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -115,6 +116,20 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *degraded)
+		return
+	}
+
+	if *serveBench != "" {
+		buf, err := experiment.ServeJSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scatterbench: serve: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*serveBench, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "scatterbench: write %s: %v\n", *serveBench, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *serveBench)
 		return
 	}
 

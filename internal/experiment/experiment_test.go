@@ -10,7 +10,7 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"table1", "fig1", "fig2", "fig3", "fig4", "algocost", "quality", "ordering", "bound", "root", "tree", "masterslave", "overlap", "multiround", "sensitivity", "heterogeneity", "hierarchy", "recovery", "solver", "degraded"}
+	want := []string{"table1", "fig1", "fig2", "fig3", "fig4", "algocost", "quality", "ordering", "bound", "root", "tree", "masterslave", "overlap", "multiround", "sensitivity", "heterogeneity", "hierarchy", "recovery", "solver", "degraded", "serve"}
 	ids := IDs()
 	if len(ids) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d: %v", len(ids), len(want), ids)

@@ -1,0 +1,444 @@
+package experiment
+
+// Serve load-tests the scatterd daemon stack (internal/serve over
+// internal/store and core.Engine) through a real HTTP listener: a
+// seeded client fleet replays a skewed stream of plan requests over
+// randomized two-site grids, every 200 is checked against a fresh
+// Algorithm 2 solve for its (platform, items) pair, and the run closes
+// with a crash-restart measurement comparing a cold daemon against one
+// warmed from the recovered WAL. `scatterbench -serve FILE` writes the
+// same numbers as BENCH_serve.json.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/serve"
+	"repro/internal/store"
+)
+
+func init() {
+	register("serve", Serve)
+}
+
+// serveDoc is the BENCH_serve.json document.
+type serveDoc struct {
+	Benchmark         string  `json:"benchmark"`
+	Seed              int64   `json:"seed"`
+	Requests          int     `json:"requests"`
+	DistinctPlatforms int     `json:"distinct_platforms"`
+	DistinctKeys      int     `json:"distinct_keys"`
+	Clients           int     `json:"clients"`
+	Workers           int     `json:"workers"`
+	QueueDepth        int     `json:"queue_depth"`
+	WallSeconds       float64 `json:"wall_seconds"`
+	Throughput        float64 `json:"throughput_req_per_s"`
+	P50Ms             float64 `json:"latency_p50_ms"`
+	P99Ms             float64 `json:"latency_p99_ms"`
+	// StoreHitRate is the fraction of requests answered from the
+	// durable store without touching the engine.
+	StoreHitRate float64 `json:"store_hit_rate"`
+	// EngineCacheRate is the fraction of engine solves answered from
+	// the plan cache or coalesced onto an in-flight solve.
+	EngineCacheRate float64 `json:"engine_cache_rate"`
+	ColdSolves      int     `json:"cold_solves"`
+	// ShedRate is 503s per attempted request; shed requests are
+	// retried by the client fleet until they land.
+	ShedRate float64 `json:"shed_rate"`
+	Sheds    int64   `json:"sheds"`
+	// InvariantViolations counts 200 responses that were not
+	// bit-identical to a fresh solve of their request (must be 0).
+	InvariantViolations int `json:"invariant_violations"`
+	// Restart economics: re-answering every distinct key on a daemon
+	// restarted over the recovered WAL versus on a cold daemon.
+	RecoveredPlans      int     `json:"recovered_plans"`
+	WarmRestartSeconds  float64 `json:"warm_restart_seconds"`
+	ColdRestartSeconds  float64 `json:"cold_restart_seconds"`
+	WarmRestartSpeedup  float64 `json:"warm_restart_speedup"`
+	WarmRestartAllStore bool    `json:"warm_restart_all_store"`
+}
+
+// serveKey is one distinct (platform, items) request in the workload.
+type serveKey struct {
+	body  []byte
+	items int
+	fresh core.Result
+}
+
+// buildWorkload generates the distinct keys: seeded two-site grids
+// crossed with a few item counts, each pre-solved fresh for the
+// invariant check.
+func buildWorkload(rng *rand.Rand, nPlatforms int) ([]serveKey, error) {
+	itemCounts := []int{2000, 5000, 11000, 30000}
+	keys := make([]serveKey, 0, nPlatforms*len(itemCounts))
+	for i := 0; i < nPlatforms; i++ {
+		p := platform.RandomTwoSite(rng, 1+rng.Intn(3), 1+rng.Intn(3))
+		p.Name = fmt.Sprintf("%s-%d", p.Name, i)
+		procs, err := p.ProcessorsOrdered(platform.OrderDescendingBandwidth)
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range itemCounts {
+			fresh, err := core.Algorithm2(procs, n)
+			if err != nil {
+				return nil, err
+			}
+			body, err := json.Marshal(serve.PlanRequest{Platform: p, Items: n})
+			if err != nil {
+				return nil, err
+			}
+			keys = append(keys, serveKey{body: body, items: n, fresh: fresh})
+		}
+	}
+	return keys, nil
+}
+
+// checkResponse verifies a 200 against the key's fresh solve.
+func checkResponse(body []byte, key serveKey) error {
+	var pr serve.PlanResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		return fmt.Errorf("decode: %w", err)
+	}
+	if pr.Makespan != key.fresh.Makespan {
+		return fmt.Errorf("makespan %v != fresh %v", pr.Makespan, key.fresh.Makespan)
+	}
+	if len(pr.Distribution) != len(key.fresh.Distribution) {
+		return fmt.Errorf("distribution width %d != fresh %d", len(pr.Distribution), len(key.fresh.Distribution))
+	}
+	for i := range pr.Distribution {
+		if pr.Distribution[i] != key.fresh.Distribution[i] {
+			return fmt.Errorf("distribution %v != fresh %v", pr.Distribution, key.fresh.Distribution)
+		}
+	}
+	return nil
+}
+
+// sweepKeys posts every distinct key once and reports how long the
+// sweep took and how many answers came from the durable store.
+func sweepKeys(url string, keys []serveKey) (secs float64, storeAnswers int, err error) {
+	start := time.Now()
+	for _, key := range keys {
+		resp, rerr := http.Post(url+"/v1/plan", "application/json", bytes.NewReader(key.body))
+		if rerr != nil {
+			return 0, 0, rerr
+		}
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return 0, 0, rerr
+		}
+		if resp.StatusCode != http.StatusOK {
+			return 0, 0, fmt.Errorf("sweep: status %d: %s", resp.StatusCode, body)
+		}
+		if cerr := checkResponse(body, key); cerr != nil {
+			return 0, 0, fmt.Errorf("sweep: %w", cerr)
+		}
+		var pr serve.PlanResponse
+		if json.Unmarshal(body, &pr) == nil && pr.Source == "store" {
+			storeAnswers++
+		}
+	}
+	return time.Since(start).Seconds(), storeAnswers, nil
+}
+
+// runServe drives the full scenario at the given request volume.
+func runServe(requests int) (serveDoc, error) {
+	const (
+		seed       = 20260808
+		nPlatforms = 24
+		clients    = 32
+		workers    = 4
+		queueDepth = 16
+	)
+	doc := serveDoc{
+		Benchmark:         "Serve",
+		Seed:              seed,
+		Requests:          requests,
+		DistinctPlatforms: nPlatforms,
+		Clients:           clients,
+		Workers:           workers,
+		QueueDepth:        queueDepth,
+	}
+	rng := rand.New(rand.NewSource(seed))
+	keys, err := buildWorkload(rng, nPlatforms)
+	if err != nil {
+		return doc, err
+	}
+	doc.DistinctKeys = len(keys)
+
+	dir, err := os.MkdirTemp("", "scatterd-bench")
+	if err != nil {
+		return doc, err
+	}
+	defer os.RemoveAll(dir)
+	walPath := filepath.Join(dir, "plans.wal")
+	st, _, err := store.Open(walPath)
+	if err != nil {
+		return doc, err
+	}
+	srv := serve.NewServer(serve.Config{
+		Store:      st,
+		Workers:    workers,
+		QueueDepth: queueDepth,
+	})
+	ts := httptest.NewServer(srv)
+
+	// The skewed request stream: Zipf-ish hot keys so the store and
+	// plan cache see realistic reuse. Each client owns a deterministic
+	// slice of the stream (seeded per client, no shared rand).
+	zipf := rand.NewZipf(rng, 1.2, 1.0, uint64(len(keys)-1))
+	stream := make([]int, requests)
+	for i := range stream {
+		stream[i] = int(zipf.Uint64())
+	}
+
+	var (
+		wg         sync.WaitGroup
+		mu         sync.Mutex
+		violations int
+		firstErr   error
+		latencies  = make([][]float64, clients)
+		sheds      int64
+	)
+	per := (requests + clients - 1) / clients
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		lo, hi := c*per, (c+1)*per
+		if hi > requests {
+			hi = requests
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			lat := make([]float64, 0, hi-lo)
+			var mySheds int64
+			for i := lo; i < hi; i++ {
+				key := keys[stream[i]]
+				t0 := time.Now()
+				for {
+					resp, err := http.Post(ts.URL+"/v1/plan", "application/json", bytes.NewReader(key.body))
+					if err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						return
+					}
+					body, err := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						return
+					}
+					if resp.StatusCode == http.StatusServiceUnavailable {
+						// Shed under load: back off and retry.
+						mySheds++
+						time.Sleep(time.Duration(1+i%3) * time.Millisecond)
+						continue
+					}
+					if resp.StatusCode != http.StatusOK {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = fmt.Errorf("status %d: %s", resp.StatusCode, body)
+						}
+						mu.Unlock()
+						return
+					}
+					if err := checkResponse(body, key); err != nil {
+						mu.Lock()
+						violations++
+						if firstErr == nil {
+							firstErr = fmt.Errorf("invariant violation: %w", err)
+						}
+						mu.Unlock()
+					}
+					break
+				}
+				lat = append(lat, time.Since(t0).Seconds()*1e3)
+			}
+			mu.Lock()
+			latencies[c] = lat
+			sheds += mySheds
+			mu.Unlock()
+		}(c, lo, hi)
+	}
+	wg.Wait()
+	doc.WallSeconds = time.Since(start).Seconds()
+	if firstErr != nil {
+		return doc, firstErr
+	}
+
+	var all []float64
+	for _, lat := range latencies {
+		all = append(all, lat...)
+	}
+	sort.Float64s(all)
+	doc.Throughput = float64(len(all)) / doc.WallSeconds
+	doc.P50Ms = percentile(all, 0.50)
+	doc.P99Ms = percentile(all, 0.99)
+	doc.InvariantViolations = violations
+	doc.Sheds = sheds
+
+	stats := srv.Stats()
+	total := float64(stats.Requests)
+	doc.StoreHitRate = float64(stats.StoreHits) / total
+	doc.ShedRate = float64(sheds) / (total + float64(sheds))
+	es := stats.Engine
+	engineAnswers := es.ColdSolves + es.Resolves + es.CacheHits + es.Coalesced
+	if engineAnswers > 0 {
+		doc.EngineCacheRate = float64(es.CacheHits+es.Coalesced) / float64(engineAnswers)
+	}
+	doc.ColdSolves = es.ColdSolves
+
+	// Simulated crash: stop without compacting, leave a torn frame on
+	// the WAL tail, and restart over the recovery path.
+	ts.Close()
+	srv.Drain()
+	if err := st.Close(); err != nil {
+		return doc, err
+	}
+	f, err := os.OpenFile(walPath, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		return doc, err
+	}
+	if _, err := f.WriteString("plan 512 0badc0de\nsig torn-by-crash"); err != nil {
+		return doc, err
+	}
+	f.Close()
+
+	// Warm restart: recovered WAL, fresh engine.
+	st2, info, err := store.Open(walPath)
+	if err != nil {
+		return doc, err
+	}
+	doc.RecoveredPlans = info.Entries
+	srv2 := serve.NewServer(serve.Config{Store: st2, Workers: workers, QueueDepth: queueDepth})
+	ts2 := httptest.NewServer(srv2)
+	warmSecs, storeAnswers, err := sweepKeys(ts2.URL, keys)
+	ts2.Close()
+	srv2.Drain()
+	st2.Close()
+	if err != nil {
+		return doc, err
+	}
+	doc.WarmRestartSeconds = warmSecs
+	doc.WarmRestartAllStore = storeAnswers == len(keys)
+
+	// Cold restart: empty WAL, fresh engine — what every boot would
+	// cost without durability.
+	st3, _, err := store.Open(filepath.Join(dir, "cold.wal"))
+	if err != nil {
+		return doc, err
+	}
+	srv3 := serve.NewServer(serve.Config{Store: st3, Workers: workers, QueueDepth: queueDepth})
+	ts3 := httptest.NewServer(srv3)
+	coldSecs, _, err := sweepKeys(ts3.URL, keys)
+	ts3.Close()
+	srv3.Drain()
+	st3.Close()
+	if err != nil {
+		return doc, err
+	}
+	doc.ColdRestartSeconds = coldSecs
+	if warmSecs > 0 {
+		doc.WarmRestartSpeedup = coldSecs / warmSecs
+	}
+	return doc, nil
+}
+
+// percentile reads the q-quantile from sorted data.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// ServeJSON renders BENCH_serve.json (scatterbench -serve) at full
+// load volume.
+func ServeJSON() ([]byte, error) {
+	doc, err := runServe(serveBenchRequests)
+	if err != nil {
+		return nil, err
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}
+
+// Serve is the registered experiment. Wall-clock throughput is
+// hardware-dependent; the scale-free claims are the invariant count
+// (every served plan bit-identical to a fresh solve) and the
+// warm-restart behavior (every distinct key answered from the
+// recovered WAL). The registry run uses a reduced request count to
+// stay interactive; the committed BENCH_serve.json is regenerated at
+// full volume via `make bench-serve`.
+func Serve() (Report, error) {
+	doc, err := runServe(serveReportRequests)
+	if err != nil {
+		return Report{}, err
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "scatterd under load: %d requests over %d distinct (platform, items) keys (full volume: %d):\n\n",
+		doc.Requests, doc.DistinctKeys, serveBenchRequests)
+	fmt.Fprintf(&sb, "  throughput   %10.0f req/s   p50 %.3f ms   p99 %.3f ms\n", doc.Throughput, doc.P50Ms, doc.P99Ms)
+	fmt.Fprintf(&sb, "  store hits   %10.1f%%        engine cache+coalesced %.1f%%   cold solves %d\n",
+		100*doc.StoreHitRate, 100*doc.EngineCacheRate, doc.ColdSolves)
+	fmt.Fprintf(&sb, "  sheds        %10d         shed rate %.2f%%\n", doc.Sheds, 100*doc.ShedRate)
+	fmt.Fprintf(&sb, "  invariants   %10d violations (every 200 checked against a fresh solve)\n", doc.InvariantViolations)
+	fmt.Fprintf(&sb, "  restart      warm %.3fs vs cold %.3fs (%.1fx), %d plans recovered from a torn WAL, all-store=%t\n",
+		doc.WarmRestartSeconds, doc.ColdRestartSeconds, doc.WarmRestartSpeedup, doc.RecoveredPlans, doc.WarmRestartAllStore)
+
+	boolAsFloat := func(b bool) float64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	rep := Report{
+		ID:    "serve",
+		Title: "scatterd daemon: load, shedding, crash-restart economics (extension)",
+		Body:  sb.String(),
+		Comparisons: []Comparison{
+			{Metric: "served-plan invariant violations", Paper: 0,
+				Measured: float64(doc.InvariantViolations), Unit: "",
+				Note: "extension: every 200 must be bit-identical to a fresh solve"},
+			{Metric: "warm restart serves all keys from WAL", Paper: 0,
+				Measured: boolAsFloat(doc.WarmRestartAllStore), Unit: "",
+				Note: "extension: 1 = every distinct key answered from the recovered store"},
+		},
+	}
+	return rep, nil
+}
+
+const (
+	// serveBenchRequests is the committed BENCH_serve.json volume.
+	serveBenchRequests = 120000
+	// serveReportRequests keeps the registry run interactive.
+	serveReportRequests = 4000
+)
