@@ -47,6 +47,9 @@ var concurrencySimPkgPrefixes = []string{
 	mpiPkgPath,
 	"repro/internal/chaos",
 	"repro/internal/simgrid",
+	"repro/internal/serve",
+	"repro/internal/store",
+	"repro/cmd/scatterd",
 }
 
 func pkgInScope(pkg *types.Package, prefixes []string) bool {

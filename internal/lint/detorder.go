@@ -44,6 +44,9 @@ var detOrderPkgPrefixes = []string{
 	"repro/internal/simgrid",
 	"repro/internal/fault",
 	"repro/internal/monitor",
+	"repro/internal/serve",
+	"repro/internal/store",
+	"repro/cmd/scatterd",
 }
 
 func inDetOrderScope(path string) bool {

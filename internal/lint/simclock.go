@@ -37,6 +37,9 @@ var simulatedPkgPrefixes = []string{
 	"repro/internal/core",
 	"repro/internal/platform",
 	"repro/internal/monitor",
+	"repro/internal/serve",
+	"repro/internal/store",
+	"repro/cmd/scatterd",
 }
 
 // wallClockFuncs are the time package functions that read or wait on
