@@ -42,15 +42,29 @@ func main() {
 		timeout  = flag.Duration("timeout", 2*time.Minute, "default per-request solve deadline (0 = none)")
 		maxT     = flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested deadlines")
 		maxItems = flag.Int("max-items", 10_000_000, "largest admissible item count")
+		solveW   = flag.Int("solve-workers", 0, "DP row-pool workers per cold solve (0 = GOMAXPROCS)")
+		policyS  = flag.String("solve-policy", "exact", "cold-solve policy: exact, coarse-refine, or coarse-only")
+		gran     = flag.Int("granularity", 0, "coarse grid step for coarse policies (0 = default)")
 	)
 	flag.Parse()
-	if err := run(*addr, *walPath, *queue, *workers, *cache, *timeout, *maxT, *maxItems); err != nil {
+	policy, err := core.ParsePolicy(*policyS)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scatterd:", err)
+		os.Exit(2)
+	}
+	eng := core.NewEngineConfig(core.EngineConfig{
+		Capacity:    *cache,
+		Workers:     *solveW,
+		Policy:      policy,
+		Granularity: *gran,
+	})
+	if err := run(*addr, *walPath, *queue, *workers, eng, *timeout, *maxT, *maxItems); err != nil {
 		fmt.Fprintln(os.Stderr, "scatterd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, walPath string, queue, workers, cache int, timeout, maxT time.Duration, maxItems int) error {
+func run(addr, walPath string, queue, workers int, eng *core.Engine, timeout, maxT time.Duration, maxItems int) error {
 	logger := log.New(os.Stderr, "scatterd: ", log.LstdFlags)
 
 	var st *store.Store
@@ -73,7 +87,7 @@ func run(addr, walPath string, queue, workers, cache int, timeout, maxT time.Dur
 	}
 
 	srv := serve.NewServer(serve.Config{
-		Engine:         core.NewEngine(cache),
+		Engine:         eng,
 		Store:          st,
 		QueueDepth:     queue,
 		Workers:        workers,

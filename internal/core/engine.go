@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/list"
+	"fmt"
 	"strconv"
 	"strings"
 	"sync"
@@ -33,7 +34,7 @@ type EngineStats struct {
 	// partially or fully reused for a different platform or item count.
 	Resolves int
 	// CacheHits is the number of solves answered entirely from a cached
-	// plan (O(p) reconstruction, no DP work).
+	// plan (O(p) reconstruction, no DP work) or a cached coarse result.
 	CacheHits int
 	// Fallbacks is the number of solves routed to the non-incremental
 	// solvers: general-class platforms (Algorithm 1) or opaque cost
@@ -43,6 +44,53 @@ type EngineStats struct {
 	// identical in-flight solve (same signature and item count) instead
 	// of starting their own DP — the singleflight waiters.
 	Coalesced int
+	// CoarseSolves is the number of solves answered by the
+	// coarsen-then-refine solver under a coarse policy.
+	CoarseSolves int
+}
+
+// SolvePolicy selects how an Engine answers solves that miss every
+// cache: exactly, or with the coarsen-then-refine solver and a
+// machine-checked optimality band.
+type SolvePolicy int
+
+const (
+	// PolicyExact always runs the exact DP. The zero value, and the
+	// only policy whose plans are retained for warm starts.
+	PolicyExact SolvePolicy = iota
+	// PolicyCoarseRefine answers large cold solves with the coarse DP
+	// plus banded exact refinement (SolveCoarse).
+	PolicyCoarseRefine
+	// PolicyCoarseOnly answers large cold solves with the grid-optimal
+	// distribution alone — fastest, widest band.
+	PolicyCoarseOnly
+)
+
+// String names the policy for flags, reports and the daemon's JSON.
+func (p SolvePolicy) String() string {
+	switch p {
+	case PolicyExact:
+		return "exact"
+	case PolicyCoarseRefine:
+		return "coarse-refine"
+	case PolicyCoarseOnly:
+		return "coarse-only"
+	default:
+		return "policy(" + strconv.Itoa(int(p)) + ")"
+	}
+}
+
+// ParsePolicy parses the String form of a SolvePolicy.
+func ParsePolicy(s string) (SolvePolicy, error) {
+	switch s {
+	case "exact":
+		return PolicyExact, nil
+	case "coarse-refine":
+		return PolicyCoarseRefine, nil
+	case "coarse-only":
+		return PolicyCoarseOnly, nil
+	}
+	return 0, fmt.Errorf("core: unknown solve policy %q (want exact, coarse-refine or coarse-only)", s)
 }
 
 // SolveSource classifies the path a Solve took through the engine.
@@ -59,6 +107,9 @@ const (
 	// platform (Algorithm 1) or an unfingerprintable cost function
 	// (fresh Algorithm 2).
 	SourceFallback
+	// SourceCoarse is a coarsen-then-refine solve under a coarse
+	// policy, carrying an optimality band instead of exactness.
+	SourceCoarse
 )
 
 // String names the source for reports and the daemon's JSON responses.
@@ -72,6 +123,8 @@ func (s SolveSource) String() string {
 		return "cache"
 	case SourceFallback:
 		return "fallback"
+	case SourceCoarse:
+		return "coarse"
 	default:
 		return "source(" + strconv.Itoa(int(s)) + ")"
 	}
@@ -88,6 +141,19 @@ type SolveInfo struct {
 	// Signature is the canonical platform signature, or "" when the
 	// platform cannot be fingerprinted (opaque or general-class costs).
 	Signature string
+	// Policy is the solve policy that produced the result. Exact
+	// sources — including coarse-policy solves small enough to fall
+	// back to the exact DP — report PolicyExact.
+	Policy SolvePolicy
+	// Granularity is the grid step of a coarse solve; 0 for exact.
+	Granularity int
+	// Bound is the realized optimality band: the makespan exceeds the
+	// optimum by at most Bound. Exact solves report 0.
+	Bound float64
+	// LowerBound is the proven lower bound on the optimal makespan
+	// backing Bound; 0 for exact solves (where the makespan itself is
+	// the optimum).
+	LowerBound float64
 }
 
 // PlatformSignature returns the canonical cost signature of procs — the
@@ -124,6 +190,19 @@ type Engine struct {
 	tabs    *tabCache
 	stats   EngineStats
 	flights map[string]*flight
+
+	workers   int
+	policy    SolvePolicy
+	gran      int
+	coarseMin int
+
+	// coarseCache memoizes coarse results by solve key. Coarse answers
+	// never enter the plan cache (their rows are not exact DP rows), so
+	// they get their own small FIFO-evicted table; entries are tiny — a
+	// distribution plus the band.
+	coarseCache map[string]CoarseResult
+	coarseOrder []string
+	coarseCap   int
 }
 
 // flight is one in-progress solve that identical requests wait on. Its
@@ -141,16 +220,63 @@ type flight struct {
 // plans covers a whole crash cascade.
 const DefaultPlanCacheCapacity = 8
 
+// DefaultGranularity is the coarse grid step used when EngineConfig
+// leaves Granularity unset. At the paper's 817k-item scale it puts the
+// coarsen-then-refine solve around 100x under the exact cold solve
+// while keeping the realized band under ~1% of the makespan.
+const DefaultGranularity = 1024
+
+// DefaultCoarseMinItems is the item count below which coarse policies
+// still solve exactly: under it the exact DP costs about as little as
+// the refinement window itself, so approximating buys nothing.
+const DefaultCoarseMinItems = 1 << 17
+
+// EngineConfig tunes an Engine beyond the plan-cache capacity.
+type EngineConfig struct {
+	// Capacity bounds the plan cache (DefaultPlanCacheCapacity when
+	// <= 0).
+	Capacity int
+	// Workers bounds the DP row pool used by large cold and warm
+	// solves; <= 0 selects GOMAXPROCS.
+	Workers int
+	// Policy selects exact or coarse solving for cache-missing solves.
+	Policy SolvePolicy
+	// Granularity is the coarse grid step (DefaultGranularity when
+	// <= 0). Ignored under PolicyExact.
+	Granularity int
+	// CoarseMinItems is the item count under which coarse policies
+	// fall back to the exact DP (DefaultCoarseMinItems when <= 0).
+	CoarseMinItems int
+}
+
 // NewEngine returns an Engine whose cache holds up to capacity plans
-// (DefaultPlanCacheCapacity when capacity <= 0).
+// (DefaultPlanCacheCapacity when capacity <= 0), solving exactly.
 func NewEngine(capacity int) *Engine {
-	if capacity <= 0 {
-		capacity = DefaultPlanCacheCapacity
+	return NewEngineConfig(EngineConfig{Capacity: capacity})
+}
+
+// NewEngineConfig returns an Engine with explicit solve policy and
+// worker configuration.
+func NewEngineConfig(cfg EngineConfig) *Engine {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = DefaultPlanCacheCapacity
+	}
+	if cfg.Granularity <= 0 {
+		cfg.Granularity = DefaultGranularity
+	}
+	if cfg.CoarseMinItems <= 0 {
+		cfg.CoarseMinItems = DefaultCoarseMinItems
 	}
 	return &Engine{
-		cache:   NewPlanCache(capacity),
-		tabs:    newTabCache(),
-		flights: make(map[string]*flight),
+		cache:       NewPlanCache(cfg.Capacity),
+		tabs:        newTabCache(),
+		flights:     make(map[string]*flight),
+		workers:     cfg.Workers,
+		policy:      cfg.Policy,
+		gran:        cfg.Granularity,
+		coarseMin:   cfg.CoarseMinItems,
+		coarseCache: make(map[string]CoarseResult),
+		coarseCap:   4 * cfg.Capacity,
 	}
 }
 
@@ -194,6 +320,9 @@ func (e *Engine) SolveDetailed(procs []Processor, n int) (Result, SolveInfo, err
 		}
 	}
 	sig := strings.Join(fps, ";")
+	if e.policy != PolicyExact && n >= e.coarseMin {
+		return e.solveCoarseDetailed(procs, n, sig)
+	}
 	key := sig + "#" + strconv.Itoa(n)
 
 	e.mu.Lock()
@@ -230,12 +359,12 @@ func (e *Engine) SolveDetailed(procs []Processor, n int) (Result, SolveInfo, err
 	var err error
 	source := SourceCold
 	if base != nil {
-		if derived, rerr := base.resolve(e.tabs, n, procs); rerr == nil {
+		if derived, rerr := base.resolve(e.tabs, n, procs, e.workers); rerr == nil {
 			pl, source = derived, SourceResolve
 		}
 	}
 	if pl == nil {
-		pl, err = solvePlan(e.tabs, procs, n)
+		pl, err = solvePlan(e.tabs, procs, n, e.workers)
 	}
 
 	e.mu.Lock()
@@ -257,6 +386,78 @@ func (e *Engine) SolveDetailed(procs []Processor, n int) (Result, SolveInfo, err
 	e.mu.Unlock()
 	close(f.done)
 	return f.res, f.info, f.err
+}
+
+// solveCoarseDetailed answers a large solve under a coarse policy.
+// Coarse results never enter the plan cache — its rows must stay exact
+// for warm starts and suffix lookups — so they are memoized in a side
+// table keyed by signature, item count, granularity and policy, and
+// identical in-flight coarse solves coalesce like exact ones.
+func (e *Engine) solveCoarseDetailed(procs []Processor, n int, sig string) (Result, SolveInfo, error) {
+	key := sig + "#" + strconv.Itoa(n) + "#g" + strconv.Itoa(e.gran) + "#" + e.policy.String()
+	e.mu.Lock()
+	if cr, ok := e.coarseCache[key]; ok {
+		e.stats.CacheHits++
+		e.mu.Unlock()
+		return cr.Result, e.coarseInfo(cr, sig, SourceCacheHit), nil
+	}
+	if f, ok := e.flights[key]; ok {
+		e.stats.Coalesced++
+		e.mu.Unlock()
+		<-f.done
+		info := f.info
+		info.Coalesced = true
+		return f.res, info, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	e.flights[key] = f
+	e.mu.Unlock()
+
+	cr, err := solveCoarse(e.tabs, procs, n, e.gran, CoarseOptions{SkipRefine: e.policy == PolicyCoarseOnly})
+
+	e.mu.Lock()
+	var info SolveInfo
+	if err == nil {
+		e.stats.CoarseSolves++
+		e.coarsePutLocked(key, cr)
+		info = e.coarseInfo(cr, sig, SourceCoarse)
+	}
+	f.res, f.info, f.err = cr.Result, info, err
+	delete(e.flights, key)
+	e.mu.Unlock()
+	close(f.done)
+	return f.res, f.info, f.err
+}
+
+// coarseInfo translates a CoarseResult into the SolveInfo reported to
+// callers. A coarse solve that fell back to the exact DP reports
+// PolicyExact with a zero band, so consumers gating on exactness (like
+// the daemon's durable store) see the truth rather than the knob.
+func (e *Engine) coarseInfo(cr CoarseResult, sig string, src SolveSource) SolveInfo {
+	info := SolveInfo{Source: src, Signature: sig}
+	if cr.Exact {
+		info.Policy = PolicyExact
+		return info
+	}
+	info.Policy = e.policy
+	info.Granularity = cr.Granularity
+	info.Bound = cr.Band
+	info.LowerBound = cr.LowerBound
+	return info
+}
+
+// coarsePutLocked memoizes a coarse result, evicting in FIFO order
+// once over capacity. Callers must hold e.mu.
+func (e *Engine) coarsePutLocked(key string, cr CoarseResult) {
+	if _, ok := e.coarseCache[key]; !ok {
+		e.coarseOrder = append(e.coarseOrder, key)
+		for len(e.coarseOrder) > e.coarseCap {
+			evict := e.coarseOrder[0]
+			e.coarseOrder = e.coarseOrder[1:]
+			delete(e.coarseCache, evict)
+		}
+	}
+	e.coarseCache[key] = cr
 }
 
 // unpinLocked drops one pin from a plan used as a warm-start base,

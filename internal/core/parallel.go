@@ -3,39 +3,55 @@ package core
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
-// rowJob is one contiguous chunk of a DP row for a pool worker.
-type rowJob struct {
+// rowWork is one DP row being computed across the pool. Workers claim
+// disjoint contiguous chunks of the d range by advancing the atomic
+// cursor, so dispatching a row costs one channel send per worker — not
+// one per chunk — and the chunk size can shrink for load balance
+// without growing coordination traffic.
+type rowWork struct {
 	comm, comp, costNext, costCur []float64
 	choice                        []int32
-	lo, hi                        int
+	n, chunk                      int
+	cursor                        atomic.Int64
 }
 
 // rowPool is a persistent pool of workers computing disjoint chunks of
 // DP rows. The workers are spawned once per solve and reused for every
-// row, replacing the previous per-row goroutine fan-out (p × chunks
-// spawns per solve). Within a row, chunks are independent (they only
-// read the previous row), so the result is bit-identical to the
-// sequential recurrence; the row-to-row dependency stays sequential via
-// the per-row barrier in row().
+// row. Within a row, chunks are independent (they only read the
+// previous row), so the result is bit-identical to the sequential
+// recurrence; the row-to-row dependency stays sequential via the
+// per-row barrier in row().
 type rowPool struct {
-	jobs    chan rowJob
-	wg      sync.WaitGroup // per-row barrier
+	work    chan *rowWork
+	wg      sync.WaitGroup // per-row barrier, one Done per worker
 	workers int
 }
 
 // newRowPool starts workers goroutines (GOMAXPROCS when workers <= 0)
-// that wait for row chunks. Callers must close() the pool when done.
+// that wait for rows. Callers must close() the pool when done.
 func newRowPool(workers int) *rowPool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	rp := &rowPool{jobs: make(chan rowJob, workers), workers: workers}
+	rp := &rowPool{work: make(chan *rowWork, workers), workers: workers}
 	for k := 0; k < workers; k++ {
 		go func() {
-			for j := range rp.jobs {
-				rowRange(j.comm, j.comp, j.costNext, j.costCur, j.choice, j.lo, j.hi)
+			for w := range rp.work {
+				for {
+					c := int(w.cursor.Add(1) - 1)
+					lo := 1 + c*w.chunk
+					if lo > w.n {
+						break
+					}
+					hi := lo + w.chunk - 1
+					if hi > w.n {
+						hi = w.n
+					}
+					rowRange(w.comm, w.comp, w.costNext, w.costCur, w.choice, lo, hi)
+				}
 				rp.wg.Done()
 			}
 		}()
@@ -43,28 +59,43 @@ func newRowPool(workers int) *rowPool {
 	return rp
 }
 
+// minRowChunk keeps chunks big enough that the per-chunk binary-search
+// seed and the atomic claim are amortized; rowChunksPerWorker trades
+// tail latency (stragglers finish early chunks while others run) for
+// claim traffic.
+const (
+	minRowChunk        = 256
+	rowChunksPerWorker = 8
+)
+
 // row fills costCur[1..n] and choice[1..n] from costNext across the
 // pool and returns once the whole row is done (the caller fills the
-// d = 0 entry). Chunks are large enough to amortize channel traffic and
-// keep each worker on a contiguous cache range.
+// d = 0 entry). The chunk size adapts to n and the worker count
+// instead of a fixed floor, so small rows stay on one worker and large
+// rows split finely enough to balance.
 func (rp *rowPool) row(comm, comp, costNext, costCur []float64, choice []int32, n int) {
-	chunk := (n + rp.workers*4) / (rp.workers * 4)
-	if chunk < 1024 {
-		chunk = 1024
+	if n < 1 {
+		return
 	}
-	for lo := 1; lo <= n; lo += chunk {
-		hi := lo + chunk - 1
-		if hi > n {
-			hi = n
-		}
-		rp.wg.Add(1)
-		rp.jobs <- rowJob{comm: comm, comp: comp, costNext: costNext, costCur: costCur, choice: choice, lo: lo, hi: hi}
+	chunk := (n + rp.workers*rowChunksPerWorker - 1) / (rp.workers * rowChunksPerWorker)
+	if chunk < minRowChunk {
+		chunk = minRowChunk
+	}
+	if rp.workers == 1 || n <= chunk {
+		// The fan-out would cost more than the row: run it inline.
+		rowRange(comm, comp, costNext, costCur, choice, 1, n)
+		return
+	}
+	w := &rowWork{comm: comm, comp: comp, costNext: costNext, costCur: costCur, choice: choice, n: n, chunk: chunk}
+	rp.wg.Add(rp.workers)
+	for k := 0; k < rp.workers; k++ {
+		rp.work <- w
 	}
 	rp.wg.Wait()
 }
 
 // close shuts the workers down once all submitted rows have completed.
-func (rp *rowPool) close() { close(rp.jobs) }
+func (rp *rowPool) close() { close(rp.work) }
 
 // Algorithm2Parallel is Algorithm 2 with the inner loop parallelized:
 // within one DP row i, the entries cost[d, i] for different d are
@@ -83,31 +114,40 @@ func Algorithm2Parallel(procs []Processor, n, workers int) (Result, error) {
 	}
 	p := len(procs)
 
+	// One contiguous backing array for every choice row: rows are
+	// touched in strict sequence, so blocking them together keeps the
+	// allocator from scattering p large slices across the heap.
+	backing := make([]int32, p*(n+1))
 	choice := make([][]int32, p)
 	for i := range choice {
-		choice[i] = make([]int32, n+1)
+		choice[i] = backing[i*(n+1) : (i+1)*(n+1) : (i+1)*(n+1)]
 	}
 	costNext := make([]float64, n+1)
 	costCur := make([]float64, n+1)
-	comm := make([]float64, n+1)
-	comp := make([]float64, n+1)
 
-	tabulate(procs[p-1], n, comm, comp)
+	// Duplicate processors (identical cluster nodes are the norm on
+	// real grids) share one tabulated comm/comp table through the same
+	// per-fingerprint memoization the Engine uses, instead of
+	// re-tabulating O(n) entries for every row.
+	tc := newTabCache()
+	fps := fingerprints(procs)
+
+	comm, comp, done := tc.tables(procs[p-1], fps[p-1], n)
 	for d := 0; d <= n; d++ {
 		costNext[d] = comm[d] + comp[d]
 		choice[p-1][d] = int32(d)
 	}
+	done()
 
 	rp := newRowPool(workers)
 	defer rp.close()
 
 	for i := p - 2; i >= 0; i-- {
-		tabulate(procs[i], n, comm, comp)
+		comm, comp, done := tc.tables(procs[i], fps[i], n)
 		costCur[0] = comm[0] + maxf(comp[0], costNext[0])
 		choice[i][0] = 0
-		if n >= 1 {
-			rp.row(comm, comp, costNext, costCur, choice[i], n)
-		}
+		rp.row(comm, comp, costNext, costCur, choice[i], n)
+		done()
 		costCur, costNext = costNext, costCur
 	}
 
@@ -118,28 +158,61 @@ func Algorithm2Parallel(procs []Processor, n, workers int) (Result, error) {
 // Algorithm 2 recurrence (binary-searched crossover + early break).
 // It only reads comm, comp and costNext, so disjoint ranges may run
 // concurrently. This is the single row kernel shared by
-// Algorithm2Parallel and the incremental Plan solver, which is what
-// keeps their results bit-identical to Algorithm2.
+// Algorithm2Parallel, the incremental Plan solver, and the coarse
+// refinement pass, which is what keeps their results bit-identical to
+// Algorithm2.
+//
+// The crossover emax(d) — the smallest e with comp[e] >= costNext[d-e]
+// (or d when no such e exists) — is monotone in d, and moreover
+// advances by at most one per cell: if comp[e] >= costNext[d-1-e] then
+// comp[e+1] >= costNext[d-(e+1)]. So only the first cell of a range
+// pays a binary search; every following cell re-seeds emax from its
+// left neighbor with a single comparison, replacing O(log n) scattered
+// probes per cell with an amortized O(1) sequential access. The seeded
+// value is the same lower bound the binary search would return, so the
+// kernel stays bit-identical to Algorithm2Opt's per-cell search.
 func rowRange(comm, comp, costNext, costCur []float64, choiceRow []int32, lo, hi int) {
-	for d := lo; d <= hi; d++ {
-		// Binary search for emax (see Algorithm2Opt).
-		l, h := 0, d
-		for l < h {
-			mid := (l + h) / 2
-			if comp[mid] >= costNext[d-mid] {
-				h = mid
-			} else {
-				l = mid + 1
-			}
+	if lo > hi {
+		return
+	}
+	// Hoist the bounds checks: every index below is within [0, hi].
+	comm = comm[: hi+1 : hi+1]
+	comp = comp[: hi+1 : hi+1]
+	costNext = costNext[: hi+1 : hi+1]
+	costCur = costCur[: hi+1 : hi+1]
+	choiceRow = choiceRow[: hi+1 : hi+1]
+
+	// Seed emax at d = lo with the usual binary search.
+	l, h := 0, lo
+	for l < h {
+		mid := int(uint(l+h) >> 1)
+		if comp[mid] >= costNext[lo-mid] {
+			h = mid
+		} else {
+			l = mid + 1
 		}
-		sol := l
+	}
+	emax := l
+
+	for d := lo; d <= hi; d++ {
+		if d > lo && emax < d && comp[emax] < costNext[d-emax] {
+			// The crossover moved: it advances by exactly one.
+			emax++
+		}
+		// For e >= emax the objective is Tcomm+Tcomp, both increasing,
+		// so emax is the best candidate there.
+		sol := emax
 		min := comm[sol] + maxf(comp[sol], costNext[d-sol])
+		// Descending scan over e < sol, where the max is realized by
+		// costNext[d-e].
 		for e := sol - 1; e >= 0; e-- {
 			rest := costNext[d-e]
 			m := comm[e] + maxf(comp[e], rest)
 			if m < min {
 				sol, min = e, m
 			} else if rest >= min {
+				// costNext[d-e] only grows as e decreases and Tcomm is
+				// non-negative, so no smaller e can win.
 				break
 			}
 		}

@@ -77,7 +77,7 @@ func (pl *Plan) Size() int { return len(pl.procs) }
 // Lookup(n, 0) is bit-identical to Algorithm2's: both fill rows with
 // the same binary-searched crossover and early-break recurrence.
 func SolvePlan(procs []Processor, n int) (*Plan, error) {
-	return solvePlan(nil, procs, n)
+	return solvePlan(nil, procs, n, 0)
 }
 
 // planParallelThreshold is the item count above which solvePlan fills
@@ -85,7 +85,9 @@ func SolvePlan(procs []Processor, n int) (*Plan, error) {
 // row computation.
 const planParallelThreshold = 1 << 15
 
-func solvePlan(tc *tabCache, procs []Processor, n int) (*Plan, error) {
+// workers bounds the row pool for large solves; <= 0 selects
+// GOMAXPROCS.
+func solvePlan(tc *tabCache, procs []Processor, n, workers int) (*Plan, error) {
 	if err := validateDPInput(procs, n); err != nil {
 		return nil, err
 	}
@@ -99,7 +101,7 @@ func solvePlan(tc *tabCache, procs []Processor, n int) (*Plan, error) {
 
 	var rp *rowPool
 	if n >= planParallelThreshold && p > 1 {
-		rp = newRowPool(0)
+		rp = newRowPool(workers)
 		defer rp.close()
 	}
 
@@ -170,7 +172,7 @@ func (pl *Plan) Lookup(d, i int) (Result, error) {
 // back to a fresh solve. Either way the distribution is bit-identical
 // to Algorithm2(survivors, remaining).
 func (pl *Plan) Resolve(remaining int, survivors []Processor) (Result, error) {
-	d, err := pl.resolve(nil, remaining, survivors)
+	d, err := pl.resolve(nil, remaining, survivors, 0)
 	if err != nil {
 		return Result{}, err
 	}
@@ -193,13 +195,13 @@ func (pl *Plan) pinRows() {
 // across solves. The plan's rows must not be mutated here beyond the
 // pin protocol: when the caller pre-pinned the plan (Engine path), the
 // whole body is read-only with respect to pl.
-func (pl *Plan) resolve(tc *tabCache, remaining int, survivors []Processor) (*Plan, error) {
+func (pl *Plan) resolve(tc *tabCache, remaining int, survivors []Processor, workers int) (*Plan, error) {
 	if err := validateDPInput(survivors, remaining); err != nil {
 		return nil, err
 	}
 	if remaining > pl.n {
 		// The retained rows are too narrow; nothing reusable.
-		return solvePlan(tc, survivors, remaining)
+		return solvePlan(tc, survivors, remaining, workers)
 	}
 	p, m := len(pl.procs), len(survivors)
 	sfps := fingerprints(survivors)
@@ -208,7 +210,7 @@ func (pl *Plan) resolve(tc *tabCache, remaining int, survivors []Processor) (*Pl
 	// reused.
 	t := commonFPSuffix(pl.fps, sfps)
 	if t == 0 {
-		return solvePlan(tc, survivors, remaining)
+		return solvePlan(tc, survivors, remaining, workers)
 	}
 
 	d := &Plan{
@@ -234,7 +236,7 @@ func (pl *Plan) resolve(tc *tabCache, remaining int, survivors []Processor) (*Pl
 	d.n = remaining
 	var rp *rowPool
 	if remaining >= planParallelThreshold {
-		rp = newRowPool(0)
+		rp = newRowPool(workers)
 		defer rp.close()
 	}
 	for i := m - t - 1; i >= 0; i-- {

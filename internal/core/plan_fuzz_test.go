@@ -106,7 +106,7 @@ func FuzzPlanResolve(f *testing.F) {
 			}
 			// Chain: the next round resolves against the derived plan,
 			// mirroring how the Engine warm-starts crash cascades.
-			plan, err = plan.resolve(nil, remaining, survivors)
+			plan, err = plan.resolve(nil, remaining, survivors, 0)
 			if err != nil {
 				t.Fatal(err)
 			}

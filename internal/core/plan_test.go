@@ -98,7 +98,7 @@ func TestPlanResolvePureSuffix(t *testing.T) {
 				remaining, got.Distribution, got.Makespan, want.Distribution, want.Makespan)
 		}
 	}
-	d, err := pl.resolve(nil, n, survivors)
+	d, err := pl.resolve(nil, n, survivors, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -306,7 +306,7 @@ func TestPlanCacheLRU(t *testing.T) {
 		t.Fatal("wrong survivors after eviction")
 	}
 	// Evicting the owner of lent rows must not recycle them.
-	d, err := a.resolve(nil, 10, procs[1:])
+	d, err := a.resolve(nil, 10, procs[1:], 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// referenceCell is the specification of one rowRange cell, written as
+// plainly as possible: find the crossover emax by linear scan, then
+// take the largest e in [0, emax] minimizing the recurrence (ties keep
+// the larger e, matching the solver's descending strict-less scan).
+// No binary search, no neighbor seeding, no early break — everything
+// the kernel optimizes away must not change the answer.
+func referenceCell(comm, comp, costNext []float64, d int) (int32, float64) {
+	emax := d
+	for e := 0; e <= d; e++ {
+		if comp[e] >= costNext[d-e] {
+			emax = e
+			break
+		}
+	}
+	sol := emax
+	min := comm[sol] + maxf(comp[sol], costNext[d-sol])
+	for e := emax - 1; e >= 0; e-- {
+		if m := comm[e] + maxf(comp[e], costNext[d-e]); m < min {
+			sol, min = e, m
+		}
+	}
+	return int32(sol), min
+}
+
+// dyadicTable builds an increasing cost table that is null at zero
+// items, with dyadic increments so float comparisons are exact.
+func dyadicTable(rng *rand.Rand, n int, flat bool) []float64 {
+	t := make([]float64, n+1)
+	for d := 1; d <= n; d++ {
+		step := float64(rng.Intn(4)) * 0.25
+		if !flat && step == 0 {
+			step = 0.25
+		}
+		t[d] = t[d-1] + step
+	}
+	return t
+}
+
+func checkRowAgainstReference(t *testing.T, comm, comp, costNext []float64, n int, label string) {
+	t.Helper()
+	cost := make([]float64, n+1)
+	choice := make([]int32, n+1)
+	rowRange(comm, comp, costNext, cost, choice, 1, n)
+	for d := 1; d <= n; d++ {
+		wantSol, wantMin := referenceCell(comm, comp, costNext, d)
+		if choice[d] != wantSol || cost[d] != wantMin {
+			t.Fatalf("%s: d=%d: kernel (e=%d, %g) != reference (e=%d, %g)",
+				label, d, choice[d], cost[d], wantSol, wantMin)
+		}
+	}
+}
+
+// TestRowRangeMatchesReference drives the optimized kernel against the
+// plain specification on random dyadic tables, including flat stretches
+// that force ties.
+func TestRowRangeMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(200)
+		flat := trial%2 == 0
+		comm := dyadicTable(rng, n, flat)
+		comp := dyadicTable(rng, n, flat)
+		costNext := dyadicTable(rng, n, flat)
+		checkRowAgainstReference(t, comm, comp, costNext, n, "random")
+	}
+}
+
+// TestRowRangeCrossoverExtremes pins the emax boundary cases: a
+// computation table that dwarfs the suffix cost (emax = 1 from the
+// first cell on) and a zero computation table (emax = d in every cell,
+// the seed advancing by exactly one per step).
+func TestRowRangeCrossoverExtremes(t *testing.T) {
+	const n = 64
+	rng := rand.New(rand.NewSource(8))
+	small := dyadicTable(rng, n, false)
+	comm := dyadicTable(rng, n, false)
+
+	huge := make([]float64, n+1)
+	for d := 1; d <= n; d++ {
+		huge[d] = 1 << 20
+	}
+	checkRowAgainstReference(t, comm, huge, small, n, "huge comp")
+
+	zero := make([]float64, n+1)
+	checkRowAgainstReference(t, comm, zero, small, n, "zero comp")
+
+	// Zero suffix cost: comp[e] >= costNext[d-e] already at e = 0.
+	checkRowAgainstReference(t, comm, small, zero, n, "zero costNext")
+}
+
+// TestRowRangeChunkSplitIdentity is the property the worker pool relies
+// on: splitting a row into arbitrary [lo, hi] chunks — each re-seeding
+// emax with its own binary search — produces bit-identical cost and
+// choice values to one full-range call.
+func TestRowRangeChunkSplitIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		n := 50 + rng.Intn(150)
+		comm := dyadicTable(rng, n, trial%2 == 0)
+		comp := dyadicTable(rng, n, trial%2 == 0)
+		costNext := dyadicTable(rng, n, trial%2 == 0)
+
+		whole := make([]float64, n+1)
+		wholeChoice := make([]int32, n+1)
+		rowRange(comm, comp, costNext, whole, wholeChoice, 1, n)
+
+		split := make([]float64, n+1)
+		splitChoice := make([]int32, n+1)
+		for lo := 1; lo <= n; {
+			hi := lo + rng.Intn(17) // single-cell chunks included
+			if hi > n {
+				hi = n
+			}
+			rowRange(comm, comp, costNext, split, splitChoice, lo, hi)
+			lo = hi + 1
+		}
+		for d := 1; d <= n; d++ {
+			if split[d] != whole[d] || splitChoice[d] != wholeChoice[d] {
+				t.Fatalf("trial %d d=%d: chunked (e=%d, %g) != whole (e=%d, %g)",
+					trial, d, splitChoice[d], split[d], wholeChoice[d], whole[d])
+			}
+		}
+	}
+}
+
+// TestRowRangeEmptyRange: an inverted range must not touch the output.
+func TestRowRangeEmptyRange(t *testing.T) {
+	comm := []float64{0, 1}
+	comp := []float64{0, 1}
+	costNext := []float64{0, 1}
+	cost := []float64{-7, -7}
+	choice := []int32{-7, -7}
+	rowRange(comm, comp, costNext, cost, choice, 1, 0)
+	if cost[0] != -7 || cost[1] != -7 || choice[0] != -7 || choice[1] != -7 {
+		t.Fatalf("empty range wrote output: cost %v choice %v", cost, choice)
+	}
+}

@@ -420,7 +420,7 @@ func TestHierarchicalScatter(t *testing.T) {
 }
 
 func TestSolverScaledDown(t *testing.T) {
-	doc, err := runSolver(4000)
+	doc, err := runSolver(SolverOptions{Items: 4000, Granularity: 64})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -435,7 +435,8 @@ func TestSolverScaledDown(t *testing.T) {
 		}
 	}
 	for _, want := range []string{
-		"algorithm2_cold", "algorithm2_parallel", "plan_build_cold",
+		"algorithm2_cold", "algorithm2_parallel_w1", "plan_build_cold",
+		"coarse_refine_cold", "coarse_only_cold",
 		"fresh_resolve_first_served_crash", "warm_resolve_first_served_crash",
 		"fresh_resolve_mid_crash", "warm_resolve_mid_crash",
 		"engine_cold_solve", "engine_cache_hit", "engine_warm_resolve",
@@ -443,6 +444,11 @@ func TestSolverScaledDown(t *testing.T) {
 		if _, ok := names[want]; !ok {
 			t.Errorf("missing row %q", want)
 		}
+	}
+	// runSolver itself verifies the coarse band against the exact
+	// optimum; here just pin that the rows carry the band fields.
+	if cr := names["coarse_refine_cold"]; cr.Granularity != 64 || cr.LowerBound <= 0 || cr.Bound < 0 {
+		t.Errorf("coarse_refine_cold band fields off: %+v", cr)
 	}
 	// The pure-suffix warm resolve does no DP work at all; even at this
 	// tiny scale it must beat the fresh re-solve.

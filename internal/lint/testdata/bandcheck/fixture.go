@@ -41,6 +41,24 @@ func unknownCount(procs []core.Processor, n int) {
 	_, _ = core.Heuristic(procs, n)
 }
 
+// coarseNegative: the coarsen-then-refine entry points live under the
+// same n >= 0 contract as the exact solvers.
+func coarseNegative(procs []core.Processor, n int) {
+	if n < 0 {
+		_, _ = core.SolveCoarse(procs, n, 1024) // want "provably negative item count"
+	}
+}
+
+// coarseClean: a non-negative count with any granularity is the
+// solver's own validation problem (g < 1 errors at run time), not the
+// analyzer's.
+func coarseClean(procs []core.Processor, n, g int) {
+	if n < 0 {
+		return
+	}
+	_, _ = core.SolveCoarseOpt(procs, n, g, core.CoarseOptions{})
+}
+
 // nilProcs: a zero-value slice declaration is provably nil, a
 // guaranteed validation error in every solver.
 func nilProcs(n int) {

@@ -111,23 +111,35 @@ func (s *Server) run(j *job) {
 		j.finish(http.StatusUnprocessableEntity, PlanResponse{}, fmt.Sprintf("solve failed: %v", err))
 		return
 	}
-	s.persist(j, res)
-	j.finish(http.StatusOK, PlanResponse{
+	s.persist(j, res, info)
+	resp := PlanResponse{
 		Distribution: res.Distribution,
 		Makespan:     res.Makespan,
 		Processors:   procNames(j.procs),
 		Source:       info.Source.String(),
 		Coalesced:    info.Coalesced,
 		Signature:    info.Signature,
-	}, "")
+	}
+	if info.Policy != core.PolicyExact {
+		resp.Policy = info.Policy.String()
+		resp.Granularity = info.Granularity
+		resp.Bound = info.Bound
+		resp.LowerBound = info.LowerBound
+	}
+	j.finish(http.StatusOK, resp, "")
 }
 
 // persist appends a solved plan to the durable store. Coalesced and
 // cache-hit repeats dedupe to no-ops inside Append. Persistence
 // failures are counted, not fatal: the daemon keeps serving from the
 // engine and recovers whatever prefix the WAL kept.
-func (s *Server) persist(j *job, res core.Result) {
-	if s.st == nil || j.sig == "" {
+//
+// Only exact solves are persisted: the store answers repeats verbatim
+// with no way to carry an optimality band, and a daemon restarted with
+// a different policy or granularity must never replay an approximate
+// plan as if it were exact.
+func (s *Server) persist(j *job, res core.Result, info core.SolveInfo) {
+	if s.st == nil || j.sig == "" || info.Policy != core.PolicyExact {
 		return
 	}
 	err := s.st.Append(storeEntry(j.sig, j.n, res))

@@ -426,6 +426,65 @@ func TestServeDrain(t *testing.T) {
 	s.Drain() // idempotent, returns immediately
 }
 
+// TestServeCoarsePolicyNotPersisted pins the persistence gate: a
+// daemon running a coarse policy reports the band on the wire but
+// never writes approximate plans to the WAL, while solves below the
+// coarse threshold stay exact and are persisted as before.
+func TestServeCoarsePolicyNotPersisted(t *testing.T) {
+	walPath := filepath.Join(t.TempDir(), "plans.wal")
+	st, _, err := store.Open(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	eng := core.NewEngineConfig(core.EngineConfig{
+		Policy:         core.PolicyCoarseRefine,
+		Granularity:    16,
+		CoarseMinItems: 1000,
+	})
+	s := NewServer(Config{Engine: eng, Store: st})
+	defer s.Drain()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	// Above the coarse threshold: answered approximately, with the
+	// policy and band on the wire, and NOT appended to the store.
+	resp, body := postPlan(t, ts.URL, PlanRequest{Platform: testPlatform(1), Items: 5000})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	pr := decodePlan(t, body)
+	if pr.Source != "coarse" || pr.Policy != "coarse-refine" || pr.Granularity != 16 {
+		t.Fatalf("coarse response = %+v, want coarse source with policy and granularity", pr)
+	}
+	if pr.Bound < 0 || pr.LowerBound <= 0 || pr.LowerBound > pr.Makespan {
+		t.Fatalf("band fields inconsistent: bound %g, lower %g, makespan %g", pr.Bound, pr.LowerBound, pr.Makespan)
+	}
+	if sum(pr.Distribution) != 5000 {
+		t.Fatalf("distribution %v sums to %d, want 5000", pr.Distribution, sum(pr.Distribution))
+	}
+	if got := s.Stats().StoreEntries; got != 0 {
+		t.Fatalf("store entries after coarse solve = %d, want 0", got)
+	}
+
+	// Below the threshold the same daemon solves exactly: no band
+	// fields, and the plan is durable.
+	resp2, body2 := postPlan(t, ts.URL, PlanRequest{Platform: testPlatform(1), Items: 500})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("exact status = %d, body %s", resp2.StatusCode, body2)
+	}
+	pr2 := decodePlan(t, body2)
+	if pr2.Policy != "" || pr2.Bound != 0 || pr2.Granularity != 0 {
+		t.Fatalf("exact response carries band fields: %+v", pr2)
+	}
+	if got := s.Stats().StoreEntries; got != 1 {
+		t.Fatalf("store entries after exact solve = %d, want 1", got)
+	}
+	if stats := s.Stats(); stats.Engine.CoarseSolves != 1 || stats.Engine.ColdSolves != 1 {
+		t.Fatalf("engine stats = %+v, want one coarse and one cold solve", stats.Engine)
+	}
+}
+
 // waitFor polls cond (test-side timing only; the daemon itself reads
 // no clock).
 func waitFor(t *testing.T, cond func() bool) {
