@@ -57,11 +57,13 @@ func copyModule(b *testing.B, dst string) {
 // syntactic analyzers, the three dataflow analyzers (CFG + reaching
 // definitions + summary fixpoint), the three SSA analyzers (phi
 // placement + interval/nilness propagation + happens-before proofs),
-// the full suite over the generated synthetic fixture
-// (internal/lint/testdata/bench), and the incremental cache cold vs.
-// warm after a one-package edit. The tree is clean, so every findings
-// count must be zero and the benchmark measures pure analysis cost.
-// Results go to BENCH_lint.json; regenerate with `make bench-lint`.
+// the three lock-set analyzers (guarded-field dataflow + lock-order
+// graph + release discipline), the full suite over the generated
+// synthetic fixture (internal/lint/testdata/bench), and the
+// incremental cache cold vs. warm after a one-package edit. The tree
+// is clean, so every findings count must be zero and the benchmark
+// measures pure analysis cost. Results go to BENCH_lint.json;
+// regenerate with `make bench-lint`.
 func BenchmarkLint(b *testing.B) {
 	legacy := []*lint.Analyzer{
 		lint.MPIErrCheck, lint.CollectiveOrder, lint.SimClock,
@@ -69,6 +71,7 @@ func BenchmarkLint(b *testing.B) {
 	}
 	dataflow := []*lint.Analyzer{lint.PoolAlias, lint.DetOrder, lint.LedgerOrder}
 	ssa := []*lint.Analyzer{lint.CollectiveDeadlock, lint.GoroLeak, lint.BandCheck}
+	lockset := []*lint.Analyzer{lint.LockGuard, lint.LockOrder, lint.UnlockPath}
 
 	run := func(b *testing.B, pkgs []*lint.Package, analyzers []*lint.Analyzer) (float64, int) {
 		b.Helper()
@@ -125,6 +128,11 @@ func BenchmarkLint(b *testing.B) {
 	b.Run("ssa", func(b *testing.B) {
 		ms, findings := run(b, pkgs, ssa)
 		stages = append(stages, lintBenchStage{Name: "ssa", Millis: ms, Packages: len(pkgs), Findings: findings})
+	})
+
+	b.Run("lockset", func(b *testing.B) {
+		ms, findings := run(b, pkgs, lockset)
+		stages = append(stages, lintBenchStage{Name: "lockset", Millis: ms, Packages: len(pkgs), Findings: findings})
 	})
 
 	b.Run("synthetic", func(b *testing.B) {
@@ -197,7 +205,7 @@ func BenchmarkLint(b *testing.B) {
 			b.Fatalf("stage %s reported %d findings on a tree that must be clean", s.Name, s.Findings)
 		}
 	}
-	if len(stages) == 7 {
+	if len(stages) == 8 {
 		var cold, warm float64
 		for _, s := range stages {
 			switch s.Name {

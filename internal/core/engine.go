@@ -186,32 +186,32 @@ func PlatformSignature(procs []Processor) (string, bool) {
 // identical in-flight requests coalesce onto one solve (singleflight).
 type Engine struct {
 	mu      sync.Mutex
-	cache   *PlanCache
-	tabs    *tabCache
-	stats   EngineStats
-	flights map[string]*flight
+	cache   *PlanCache         //scatterlint:guardedby mu
+	tabs    *tabCache          //scatterlint:guardedby immutable — set once in the constructor; internally synchronized
+	stats   EngineStats        //scatterlint:guardedby mu
+	flights map[string]*flight //scatterlint:guardedby mu
 
-	workers   int
-	policy    SolvePolicy
-	gran      int
-	coarseMin int
+	workers   int         //scatterlint:guardedby immutable
+	policy    SolvePolicy //scatterlint:guardedby immutable
+	gran      int         //scatterlint:guardedby immutable
+	coarseMin int         //scatterlint:guardedby immutable
 
 	// coarseCache memoizes coarse results by solve key. Coarse answers
 	// never enter the plan cache (their rows are not exact DP rows), so
 	// they get their own small FIFO-evicted table; entries are tiny — a
 	// distribution plus the band.
-	coarseCache map[string]CoarseResult
-	coarseOrder []string
-	coarseCap   int
+	coarseCache map[string]CoarseResult //scatterlint:guardedby mu
+	coarseOrder []string                //scatterlint:guardedby mu
+	coarseCap   int                     //scatterlint:guardedby immutable
 }
 
 // flight is one in-progress solve that identical requests wait on. Its
 // result fields are written exactly once, before done is closed.
 type flight struct {
-	done chan struct{}
-	res  Result
-	info SolveInfo
-	err  error
+	done chan struct{} //scatterlint:guardedby immutable
+	res  Result        //scatterlint:guardedby immutable — written under e.mu before close(done)
+	info SolveInfo     //scatterlint:guardedby immutable — written under e.mu before close(done)
+	err  error         //scatterlint:guardedby immutable — written under e.mu before close(done)
 }
 
 // DefaultPlanCacheCapacity bounds an Engine's plan cache when

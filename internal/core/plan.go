@@ -33,7 +33,7 @@ type planRow struct {
 	cost   []float64
 	choice []int32
 	owned  bool
-	lent   bool
+	lent   bool //scatterlint:guardedby (Engine).mu — sticky borrow bit; engine-less plans never set it
 }
 
 // pin marks the row lent so the owner's release() skips its buffers.
@@ -41,6 +41,7 @@ type planRow struct {
 // (Plan.pinRows) is only read here, which keeps the engine's unlocked
 // resolve phase free of writes to shared plan state.
 func (r *planRow) pin() {
+	//scatterlint:ignore lockguard pinRows sets lent under the engine mutex before the unlocked resolve phase; this path only re-reads the sticky bit and skips a redundant store
 	if !r.lent {
 		r.lent = true
 	}
@@ -61,8 +62,8 @@ type Plan struct {
 	// zombie marks a plan evicted from the cache while pinned, whose
 	// buffers are freed on the last unpin instead. Both are guarded by
 	// the engine mutex; they stay zero for engine-less plans.
-	refs   int
-	zombie bool
+	refs   int  //scatterlint:guardedby (Engine).mu
+	zombie bool //scatterlint:guardedby (Engine).mu
 }
 
 // Items returns the item count the plan was solved for; Lookup and
@@ -253,6 +254,7 @@ func (pl *Plan) resolve(tc *tabCache, remaining int, survivors []Processor, work
 // buffers are freed by the last unpin instead, so the resolve never
 // reads recycled memory.
 func (pl *Plan) release() {
+	//scatterlint:ignore lockguard the engine evicts under its mutex; engine-less caches never pin, so refs and zombie stay zero on the unlocked path
 	if pl.refs > 0 {
 		pl.zombie = true
 		return
@@ -266,6 +268,7 @@ func (pl *Plan) release() {
 func (pl *Plan) freeRows() {
 	for i := range pl.rows {
 		r := &pl.rows[i]
+		//scatterlint:ignore lockguard callers guarantee no reader is left: eviction under the engine mutex, or the last unpin of a zombie
 		if r.owned && !r.lent {
 			putF64(r.cost)
 			putI32(r.choice)
@@ -341,7 +344,7 @@ func putI32(s []int32) {
 // solves of distinct platforms tabulate in parallel.
 type tabCache struct {
 	mu   sync.Mutex
-	tabs map[string][]float64
+	tabs map[string][]float64 //scatterlint:guardedby mu — values are immutable once published
 }
 
 func newTabCache() *tabCache {

@@ -17,6 +17,9 @@ func All() []*Analyzer {
 		PoolAlias,
 		DetOrder,
 		LedgerOrder,
+		LockGuard,
+		LockOrder,
+		UnlockPath,
 	}
 }
 

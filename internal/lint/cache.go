@@ -17,7 +17,7 @@ import (
 // machinery changes in a way the suite fingerprint cannot see (a bug
 // fix inside an analyzer, a new fact layer). Bump it whenever analysis
 // semantics change.
-const cacheSchemaVersion = "scatterlint-cache-v1"
+const cacheSchemaVersion = "scatterlint-cache-v2"
 
 // An AuditRecord is a DirectiveAudit with its position resolved to
 // file/line/column, so it survives serialization: token.Pos values are

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -177,5 +178,28 @@ func TestCacheInvalidationScope(t *testing.T) {
 	_, _, testStats := runCached(t, dir, cache)
 	if testStats.Misses != 1 {
 		t.Errorf("after editing beta's test: %d misses, want 1 (only beta's unit)", testStats.Misses)
+	}
+
+	// An annotation-comment-only edit changes no code, but the lock-set
+	// analyzers read //scatterlint:guardedby comments, so unit keys hash
+	// raw file bytes: the edited unit and its importer must re-analyze.
+	src, err = os.ReadFile(alphaFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	annotated := strings.Replace(string(src), "const M = N * 2",
+		"const M = N * 2 //scatterlint:guardedby immutable (a comment-only edit)", 1)
+	if annotated == string(src) {
+		t.Fatal("annotation edit did not apply")
+	}
+	if err := os.WriteFile(alphaFile, []byte(annotated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, annStats := runCached(t, dir, cache)
+	if annStats.Misses != 2 {
+		t.Errorf("after an annotation-comment-only edit: %d misses, want 2 (alpha and beta)", annStats.Misses)
+	}
+	if annStats.Hits != cold.Units-2 {
+		t.Errorf("after an annotation-comment-only edit: %d hits, want %d (gamma untouched)", annStats.Hits, cold.Units-2)
 	}
 }

@@ -188,6 +188,86 @@ func TestNewAnalyzersCleanOnRealPackages(t *testing.T) {
 	}
 }
 
+func TestLockGuard(t *testing.T) {
+	runFixture(t, LockGuard, fixturePath("lockguard"), "repro/internal/lint/testdata/lockguard")
+}
+
+func TestLockOrder(t *testing.T) {
+	runFixture(t, LockOrder, fixturePath("lockorder"), "repro/internal/lint/testdata/lockorder")
+}
+
+func TestUnlockPath(t *testing.T) {
+	runFixture(t, UnlockPath, fixturePath("unlockpath"), "repro/internal/lint/testdata/unlockpath")
+}
+
+func TestLockSetAnalyzersCleanOnRealPackages(t *testing.T) {
+	// The six annotated packages are the negative fixture: every
+	// mutex-guarded field carries its //scatterlint:guardedby
+	// annotation, every lock is released on every path, and the lock
+	// graph is acyclic — so the lock-set analyzers must accept the
+	// live tree (modulo the reasoned in-source suppressions, which
+	// the driver applies here exactly as in CI).
+	pkgs, err := sharedLoader.Load(
+		"repro/internal/core", "repro/internal/serve", "repro/internal/store",
+		"repro/internal/mpi", "repro/internal/monitor", "repro/internal/chaos",
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 6 {
+		t.Fatalf("loaded %d packages, want 6", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		diags, err := RunAnalyzers(pkg, []*Analyzer{LockGuard, LockOrder, UnlockPath})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s: %s", pkg.Path, Format(pkg.Fset, d))
+		}
+	}
+}
+
+func TestLockSetDirectivesAuditUsed(t *testing.T) {
+	// The reasoned lockguard suppressions in internal/core are live
+	// code, not fixtures: each must keep suppressing a real finding, so
+	// -ignoreaudit reports every one as used and none as unknown. A
+	// refactor that makes one stale (or renames the analyzer) fails here.
+	pkgs, err := sharedLoader.Load("repro/internal/core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	_, audits, err := RunAnalyzersAudit(pkgs[0], []*Analyzer{LockGuard, LockOrder, UnlockPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lockset := 0
+	for _, a := range audits {
+		keyed := false
+		for _, name := range a.Analyzers {
+			if name == "lockguard" || name == "lockorder" || name == "unlockpath" {
+				keyed = true
+			}
+		}
+		if !keyed {
+			continue
+		}
+		lockset++
+		if !a.Used {
+			t.Errorf("stale lock-set directive at %v: %q", pkgs[0].Fset.Position(a.Pos), a.Reason)
+		}
+		if len(a.Unknown) != 0 {
+			t.Errorf("lock-set directive names unknown analyzers %v", a.Unknown)
+		}
+	}
+	if lockset < 3 {
+		t.Errorf("found %d lock-set directives in internal/core, want at least the 3 reasoned plan.go suppressions", lockset)
+	}
+}
+
 func TestLoaderLoadsModulePackages(t *testing.T) {
 	pkgs, err := sharedLoader.Load("repro/internal/cost")
 	if err != nil {
@@ -203,8 +283,8 @@ func TestLoaderLoadsModulePackages(t *testing.T) {
 
 func TestAllAnalyzersRegistered(t *testing.T) {
 	all := All()
-	if len(all) != 11 {
-		t.Fatalf("All() returned %d analyzers, want 11", len(all))
+	if len(all) != 14 {
+		t.Fatalf("All() returned %d analyzers, want 14", len(all))
 	}
 	for _, a := range all {
 		if ByName(a.Name) != a {

@@ -59,6 +59,17 @@ func TestWriteSARIF(t *testing.T) {
 	if want := len(All()) + 1; len(run.Tool.Driver.Rules) != want {
 		t.Errorf("got %d rules, want %d", len(run.Tool.Driver.Rules), want)
 	}
+	// The lock-set analyzers must be first-class rules so their
+	// findings and suppressions survive the SARIF/baseline pipelines.
+	ids := make(map[string]bool)
+	for _, r := range run.Tool.Driver.Rules {
+		ids[r.ID] = true
+	}
+	for _, name := range []string{"lockguard", "lockorder", "unlockpath"} {
+		if !ids[name] {
+			t.Errorf("SARIF rules missing %q", name)
+		}
+	}
 	if len(run.Results) != 1 {
 		t.Fatalf("got %d results, want 1", len(run.Results))
 	}
@@ -121,5 +132,36 @@ func TestBaselineRoundTrip(t *testing.T) {
 	other := []Finding{{File: "y.go", Line: 2, Analyzer: "poolalias", Message: "m2"}}
 	if got := b.Filter(other); len(got) != 1 {
 		t.Errorf("unbaselined finding was dropped: %v", got)
+	}
+}
+
+func TestBaselineRoundTripLockSet(t *testing.T) {
+	// The lock-set analyzer names round-trip through the baseline file
+	// and matching stays analyzer-keyed: an accepted lockguard finding
+	// never excuses the same message from lockorder or unlockpath.
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	accepted := []Finding{
+		{File: "engine.go", Line: 10, Analyzer: "lockguard", Message: "read of stats without (core.Engine).mu held"},
+		{File: "plan.go", Line: 20, Analyzer: "unlockpath", Message: "return with tc.mu held"},
+	}
+	if err := WriteBaselineFile(path, accepted); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shifted := []Finding{
+		{File: "engine.go", Line: 31, Analyzer: "lockguard", Message: "read of stats without (core.Engine).mu held"},
+		{File: "plan.go", Line: 7, Analyzer: "unlockpath", Message: "return with tc.mu held"},
+	}
+	if got := b.Filter(shifted); len(got) != 0 {
+		t.Errorf("baselined lock-set findings survived the filter: %v", got)
+	}
+	crossed := []Finding{
+		{File: "engine.go", Line: 10, Analyzer: "lockorder", Message: "read of stats without (core.Engine).mu held"},
+	}
+	if got := b.Filter(crossed); len(got) != 1 {
+		t.Errorf("a lockorder finding must not match a lockguard baseline entry: %v", got)
 	}
 }

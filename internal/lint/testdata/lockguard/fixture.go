@@ -1,0 +1,163 @@
+// Package fixture exercises the lockguard analyzer: every access to a
+// //scatterlint:guardedby field must hold the declared lock class,
+// go through sync/atomic, or precede publication.
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type Counter struct {
+	mu   sync.Mutex
+	n    int    //scatterlint:guardedby mu
+	hits int64  //scatterlint:guardedby atomic
+	name string //scatterlint:guardedby immutable
+}
+
+// Locked accesses, including under a deferred unlock, are proven.
+func (c *Counter) Get(flag bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if flag {
+		return c.n
+	}
+	return 2 * c.n
+}
+
+// A local carrier bound to shared state reports immediately: no
+// caller can make this access safe.
+func lookup(m map[int]*Counter) int {
+	c := m[0]
+	return c.n // want "read of n .guarded by .lockguard.Counter..mu. without .lockguard.Counter..mu held"
+}
+
+// The constructor exemption: writes before the fresh allocation
+// escapes are free, including the immutable field.
+func newCounter(seed int) *Counter {
+	c := &Counter{}
+	c.n = seed
+	c.name = "seeded"
+	return c
+}
+
+// A pure value path rooted at a local struct value is free too.
+func freshValue(seed int) int {
+	var c Counter
+	c.n = seed
+	return c.n
+}
+
+// Bump reaches bump's unlocked write: the requirement survives to an
+// exported boundary, and external callers cannot hold Counter.mu.
+func (c *Counter) Bump() {
+	c.bump()
+}
+
+func (c *Counter) bump() {
+	c.n++ // want "write of n .guarded by .lockguard.Counter..mu. reachable without the lock from exported ..fixture.Counter..Bump .path Bump → bump.; callers outside the package cannot hold .lockguard.Counter..mu"
+}
+
+// The same helper shape called under the lock is proven through the
+// summary fixpoint, not assumed: no finding.
+func (c *Counter) Add(d int) {
+	c.mu.Lock()
+	c.addLocked(d)
+	c.mu.Unlock()
+}
+
+func (c *Counter) addLocked(d int) {
+	c.n += d
+}
+
+// Closures resolve like helpers: the same literal is proven under the
+// lock and reported when an exported path runs it lock-free.
+func (c *Counter) Scoped() {
+	inc := func() { c.n++ }
+	c.mu.Lock()
+	inc()
+	c.mu.Unlock()
+}
+
+func (c *Counter) ScopedBad() {
+	inc := func() { c.n++ } // want "write of n .guarded by .lockguard.Counter..mu. reachable without the lock from exported ..fixture.Counter..ScopedBad"
+	inc()
+}
+
+// Atomic fields must be accessed through sync/atomic.
+func (c *Counter) Hits() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+func (c *Counter) CountHit() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *Counter) badHits() int64 {
+	return c.hits // want "read of hits .declared guardedby atomic. must go through sync/atomic"
+}
+
+// Immutable fields: reads are always free; writes need construction
+// or a locked publish.
+func (c *Counter) Name() string {
+	return c.name
+}
+
+func (c *Counter) publish(s string) {
+	c.mu.Lock()
+	c.name = s
+	c.mu.Unlock()
+}
+
+func (c *Counter) Rename(s string) {
+	c.name = s // want "write to name .declared guardedby immutable. outside construction or a locked publish"
+}
+
+// RWMutex flavor: a read lock satisfies reads but not writes.
+type Table struct {
+	rw sync.RWMutex
+	m  map[string]int //scatterlint:guardedby rw
+}
+
+func (t *Table) Get(k string) int {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	return t.m[k]
+}
+
+func (t *Table) Put(k string, v int) {
+	t.rw.Lock()
+	defer t.rw.Unlock()
+	t.m[k] = v
+}
+
+func (t *Table) PutUnderRead(k string, v int) {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	t.m[k] = v // want "write of m .guarded by .lockguard.Table..rw. reachable without the lock from exported ..fixture.Table..PutUnderRead"
+}
+
+// Class guards name a mutex on another type in the same package: any
+// held lock of the class satisfies the guard.
+type Owner struct {
+	mu  sync.Mutex
+	rec Record
+}
+
+type Record struct {
+	val int //scatterlint:guardedby (Owner).mu
+}
+
+func Update(o *Owner) {
+	o.mu.Lock()
+	o.rec.val = 1
+	o.mu.Unlock()
+	o.rec.val = 2 // want "write of val .guarded by .lockguard.Owner..mu. reachable without the lock from exported fixture.Update"
+}
+
+// Malformed annotations are findings: a typo'd guard checks nothing.
+type badspec struct {
+	mu sync.Mutex
+	a  int //scatterlint:guardedby nosuch // want "malformed //scatterlint:guardedby: no sibling field named nosuch"
+	b  int //scatterlint:guardedby a // want "malformed //scatterlint:guardedby: a is not a sync.Mutex or sync.RWMutex field"
+}

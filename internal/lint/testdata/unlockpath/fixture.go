@@ -1,0 +1,99 @@
+// Package fixture exercises the unlockpath analyzer: every acquired
+// lock is released on every path, no double-Lock, no RLock upgrade,
+// no Unlock/RUnlock flavor mismatch.
+package fixture
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+}
+
+func missingOnEarlyReturn(b *box, flag bool) int {
+	b.mu.Lock()
+	if flag {
+		return 1 // want "return with b.mu held .acquired at line \d+.: missing Unlock on this path"
+	}
+	b.mu.Unlock()
+	return 0
+}
+
+func fallsOffEnd(b *box) {
+	b.mu.Lock() // want "function end with b.mu held .acquired at line \d+.: missing Unlock on this path"
+}
+
+func doubleLock(b *box) {
+	b.mu.Lock()
+	b.mu.Lock() // want "b.mu.Lock.. on a path where b.mu is already held .acquired at line \d+.: self-deadlock"
+	b.mu.Unlock()
+}
+
+func flavorMismatch(b *box) {
+	b.rw.RLock()
+	b.rw.Unlock() // want "b.rw.Unlock.. releases a read lock acquired at line \d+; use RUnlock"
+}
+
+func upgrade(b *box) {
+	b.rw.Lock()
+	defer b.rw.Unlock()
+	b.rw.RLock()   // want "b.rw.RLock.. while b.rw is held exclusively .acquired at line \d+.: lock upgrade deadlocks"
+	b.rw.RUnlock() // want "b.rw.RUnlock.. releases an exclusive lock acquired at line \d+; use Unlock"
+}
+
+// A deferred unlock covers every path, early returns included.
+func deferred(b *box, flag bool) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if flag {
+		return 1
+	}
+	return 0
+}
+
+// A deferred function literal releases too.
+func deferredLit(b *box) {
+	b.mu.Lock()
+	defer func() {
+		b.mu.Unlock()
+	}()
+}
+
+// Two disjoint critical sections in one function are clean.
+func twoSpans(b *box) {
+	b.mu.Lock()
+	x := 1
+	b.mu.Unlock()
+	b.mu.Lock()
+	x++
+	b.mu.Unlock()
+	_ = x
+}
+
+// Must-analysis: a lock held on only one arm of a branch is not held
+// at the join, so condition-coupled pairs stay silent by design.
+func conditional(b *box, flag bool) {
+	if flag {
+		b.mu.Lock()
+	}
+	if flag {
+		b.mu.Unlock()
+	}
+}
+
+// An unlock-then-panic arm meets the live arm as unlocked: clean.
+func panicArm(b *box, bad bool) {
+	b.mu.Lock()
+	if bad {
+		b.mu.Unlock()
+		panic("bad state")
+	}
+	b.mu.Unlock()
+}
+
+// Paths that never return normally hold no obligations: panics run
+// the deferred unlocks, exits tear the process down.
+func fatal(b *box) {
+	b.mu.Lock()
+	panic("dead")
+}

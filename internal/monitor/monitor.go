@@ -200,9 +200,9 @@ type resourceState struct {
 // It is safe for concurrent use.
 type Monitor struct {
 	mu          sync.Mutex
-	capacity    int
-	forecasters []Forecaster
-	resources   map[string]*resourceState
+	capacity    int                       //scatterlint:guardedby immutable
+	forecasters []Forecaster              //scatterlint:guardedby immutable
+	resources   map[string]*resourceState //scatterlint:guardedby mu
 }
 
 // New creates a monitor retaining up to capacity measurements per

@@ -12,16 +12,16 @@ import (
 // peers are parked inside it (see World.markFailed).
 type collective struct {
 	mu        sync.Mutex
-	arrived   int
-	clocks    []float64
-	inputs    []any
-	completed bool
-	done      chan struct{}
+	arrived   int           //scatterlint:guardedby mu
+	clocks    []float64     //scatterlint:guardedby mu
+	inputs    []any         //scatterlint:guardedby mu
+	completed bool          //scatterlint:guardedby mu
+	done      chan struct{} //scatterlint:guardedby immutable — allocated with the collective
 
-	commStarts []float64
-	outClocks  []float64
-	outputs    []any
-	err        error
+	commStarts []float64 //scatterlint:guardedby immutable — written once under mu before close(done)
+	outClocks  []float64 //scatterlint:guardedby immutable — written once under mu before close(done)
+	outputs    []any     //scatterlint:guardedby immutable — written once under mu before close(done)
+	err        error     //scatterlint:guardedby immutable — written once under mu before close(done)
 }
 
 // finish publishes the collective's outcome exactly once and releases
@@ -93,6 +93,7 @@ func (c *Comm) rendezvous(input any, op collectiveOp) (any, error) {
 		w.mu.Lock()
 		delete(w.collectives, seq)
 		w.mu.Unlock()
+		//scatterlint:ignore lockguard the last arriver reads alone: all p ranks have stored their slot and parked on done, and finish() rejects late mutation via completed
 		cs, oc, outs, err := op(w, st.clocks, st.inputs)
 		st.finish(cs, oc, outs, err)
 	}

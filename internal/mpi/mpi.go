@@ -62,10 +62,10 @@ type World struct {
 	engine *core.Engine
 
 	mu          sync.Mutex
-	collectives map[int]*collective
-	mailboxes   map[pairTag]chan message
-	failed      map[int]error
-	failCh      chan struct{} // closed and replaced on every failure
+	collectives map[int]*collective      //scatterlint:guardedby mu
+	mailboxes   map[pairTag]chan message //scatterlint:guardedby mu
+	failed      map[int]error            //scatterlint:guardedby mu
+	failCh      chan struct{}            //scatterlint:guardedby mu — closed and replaced on every failure
 }
 
 // faultConfig groups the failure-related knobs of a world.

@@ -188,8 +188,8 @@ type Server struct {
 	wg       sync.WaitGroup
 
 	mu           sync.Mutex
-	drainStarted bool
-	stats        Stats
+	drainStarted bool  //scatterlint:guardedby mu
+	stats        Stats //scatterlint:guardedby mu
 }
 
 // NewServer builds the service and starts its worker pool. Callers own

@@ -115,10 +115,10 @@ type RecoveryInfo struct {
 // unpredictably.
 type Store struct {
 	mu      sync.Mutex
-	path    string
-	f       *os.File
-	entries map[string]Entry
-	records int
+	path    string           //scatterlint:guardedby immutable
+	f       *os.File         //scatterlint:guardedby mu
+	entries map[string]Entry //scatterlint:guardedby mu
+	records int              //scatterlint:guardedby mu
 }
 
 // key is the in-memory index key for (sig, items).
